@@ -1,0 +1,118 @@
+// EnSF design-choice ablations (DESIGN.md §5) on the Lorenz-96 cycling
+// testbed: damping h(t), likelihood strength, kernel bandwidth, Euler steps,
+// score minibatch J, and spread relaxation.
+#include <iostream>
+
+#include "da/ensf.hpp"
+#include "da/osse.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+#include "models/lorenz96.hpp"
+
+using namespace turbda;
+
+namespace {
+
+double cycling_rmse(const da::EnsfConfig& fcfg, int cycles = 30) {
+  models::Lorenz96Config mc;
+  mc.dim = 40;
+  mc.steps_per_window = 10;
+  models::Lorenz96 truth_model(mc), fcst(mc);
+  std::vector<double> truth0(mc.dim, 8.0);
+  truth0[0] += 0.01;
+  models::Lorenz96 spin(mc);
+  for (int i = 0; i < 500; ++i) spin.step(truth0);
+
+  da::IdentityObs h(mc.dim);
+  da::DiagonalR r(mc.dim, 1.0);
+  da::OsseConfig oc;
+  oc.cycles = cycles;
+  oc.n_members = 20;
+  oc.seed = 99;
+  da::EnSF filter(fcfg);
+  da::OsseRunner runner(oc, truth_model, fcst, h, r, &filter);
+  const auto m = runner.run(truth0);
+  double late = 0.0;
+  const int k0 = (2 * cycles) / 3;
+  for (int k = k0; k < cycles; ++k) late += m[static_cast<std::size_t>(k)].rmse_post;
+  return late / (cycles - k0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  const int cycles = static_cast<int>(args.get_int("cycles", 30));
+  std::cout << "=== EnSF ablations (Lorenz-96, dim 40, R = I, 20 members, late-cycle "
+               "analysis RMSE) ===\n";
+  const da::EnsfConfig base = da::EnsfConfig::stabilized();
+
+  {
+    std::cout << "\nDamping h(t) (paper uses T - t and notes alternatives):\n";
+    io::Table t({"damping", "RMSE"});
+    for (auto [d, name] : {std::pair{da::LikelihoodDamping::LinearDecay, "h(t) = 1 - t"},
+                           std::pair{da::LikelihoodDamping::QuadraticDecay, "h(t) = (1-t)^2"},
+                           std::pair{da::LikelihoodDamping::Constant, "h(t) = 1"}}) {
+      da::EnsfConfig c = base;
+      c.damping = d;
+      t.add_row({name, io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  {
+    std::cout << "\nLikelihood strength (raw Eq. 11 = 1):\n";
+    io::Table t({"strength", "RMSE"});
+    for (double g : {1.0, 4.0, 8.0, 16.0, 32.0}) {
+      da::EnsfConfig c = base;
+      c.likelihood_strength = g;
+      t.add_row({io::Table::num(g, 0), io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  {
+    std::cout << "\nScore kernel bandwidth (raw Eq. 16 = 0):\n";
+    io::Table t({"kappa", "RMSE"});
+    for (double k : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+      da::EnsfConfig c = base;
+      c.kernel_bandwidth = k;
+      t.add_row({io::Table::num(k, 1), io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  {
+    std::cout << "\nReverse-SDE Euler steps:\n";
+    io::Table t({"steps", "RMSE"});
+    for (int s : {20, 50, 100, 200}) {
+      da::EnsfConfig c = base;
+      c.euler_steps = s;
+      t.add_row({std::to_string(s), io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  {
+    std::cout << "\nScore minibatch J (Eq. 15; 0 = full ensemble):\n";
+    io::Table t({"J", "RMSE"});
+    for (int j : {0, 5, 10, 20}) {
+      da::EnsfConfig c = base;
+      c.minibatch = j;
+      t.add_row({std::to_string(j), io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  {
+    std::cout << "\nSpread relaxation to prior (paper: \"simply relaxed to the prior "
+                 "values\"):\n";
+    io::Table t({"relax", "RMSE"});
+    for (double rs : {0.0, 0.5, 1.0}) {
+      da::EnsfConfig c = base;
+      c.relax_spread = rs;
+      t.add_row({io::Table::num(rs, 1), io::Table::num(cycling_rmse(c, cycles), 3)});
+    }
+    t.print();
+  }
+  std::cout << "\nKey finding (documented in EXPERIMENTS.md): with 20 isolated members and\n"
+               "moderately informative observations, the raw Eq.-16 score barely contracts;\n"
+               "kernel smoothing + likelihood strengthening restore the paper's stable\n"
+               "tracking without localization or per-problem tuning.\n";
+  return 0;
+}

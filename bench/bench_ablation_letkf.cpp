@@ -1,0 +1,50 @@
+// LETKF regularization ablations (DESIGN.md §5): cut-off localization radius
+// and RTPS inflation factor, on a small SQG OSSE. The paper tunes these to
+// 2000 km / 0.3 in an error-free twin experiment.
+#include <iostream>
+
+#include "bench/../bench/sqg_experiment.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+
+using namespace turbda;
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  bench::SqgExperimentConfig cfg;
+  cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
+  cfg.cycles = static_cast<int>(args.get_int("cycles", 25));
+
+  std::cout << "=== LETKF ablations (SQG " << cfg.n << "^2 OSSE, " << cfg.cycles
+            << " cycles, imperfect model) ===\n";
+  bench::SqgExperiment exp(cfg);
+
+  auto late = [&](const std::vector<da::CycleMetrics>& m) {
+    double s = 0.0;
+    const int k0 = (2 * cfg.cycles) / 3;
+    for (int k = k0; k < cfg.cycles; ++k) s += m[static_cast<std::size_t>(k)].rmse_post;
+    return s / (cfg.cycles - k0);
+  };
+
+  std::cout << "\nCut-off localization radius (paper's tuned value: 2000 km):\n";
+  io::Table t({"cutoff [km]", "late RMSE [K]"});
+  for (double km : {500.0, 1000.0, 2000.0, 4000.0, 10000.0}) {
+    da::LetkfConfig lc = exp.letkf_config();
+    lc.cutoff_m = km * 1e3;
+    da::LETKF letkf(lc);
+    t.add_row({io::Table::num(km, 0), io::Table::num(late(exp.run(&letkf, nullptr)), 2)});
+  }
+  t.print();
+
+  std::cout << "\nRTPS inflation factor (paper's tuned value: 0.3):\n";
+  io::Table rt({"RTPS", "late RMSE [K]"});
+  for (double a : {0.0, 0.15, 0.3, 0.6, 0.9}) {
+    da::LetkfConfig lc = exp.letkf_config();
+    lc.rtps = a;
+    da::LETKF letkf(lc);
+    rt.add_row({io::Table::num(a, 2), io::Table::num(late(exp.run(&letkf, nullptr)), 2)});
+  }
+  rt.print();
+  std::cout << "\n(EnSF needs neither knob — the paper's central operational argument.)\n";
+  return 0;
+}

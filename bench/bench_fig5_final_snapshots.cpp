@@ -1,0 +1,72 @@
+// Fig. 5 reproduction: analysis ensemble means and their errors against the
+// ground-truth potential-temperature field at the final observation time,
+// for all four configurations. Writes NPY snapshots for plotting and prints
+// the error norms the figure visualizes.
+#include <iostream>
+
+#include "bench/../bench/sqg_experiment.hpp"
+#include "io/args.hpp"
+#include "io/npy.hpp"
+#include "io/table.hpp"
+
+using namespace turbda;
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  bench::SqgExperimentConfig cfg;
+  cfg.cycles = static_cast<int>(args.get_int("cycles", 30));
+  cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
+  if (args.flag("full")) {
+    cfg.n = 64;
+    cfg.cycles = 300;
+  }
+
+  std::cout << "=== Fig. 5: final-time analysis means and errors (t = "
+            << cfg.cycles * cfg.window_hours << " h) ===\n";
+  bench::SqgExperiment exp(cfg);
+  auto vit_a = exp.train_surrogate();
+  auto vit_b = exp.train_surrogate();
+
+  struct Config {
+    std::string name;
+    da::Filter* filter;
+    nn::SurrogateForecast* surrogate;
+  };
+  da::LETKF letkf(exp.letkf_config());
+  da::EnSF ensf(da::EnsfConfig::stabilized());
+  const Config configs[] = {
+      {"sqg_only", nullptr, nullptr},
+      {"vit_only", nullptr, vit_a.get()},
+      {"sqg_letkf", &letkf, nullptr},
+      {"vit_ensf", &ensf, vit_b.get()},
+  };
+
+  io::Table t({"configuration", "final RMSE [K]", "max |err| [K]", "field min [K]",
+               "field max [K]"});
+  std::vector<double> truth;
+  for (const auto& c : configs) {
+    da::OsseRunner* runner = nullptr;
+    exp.run(c.filter, c.surrogate, &runner);
+    truth = runner->final_truth();
+    const auto mean = runner->ensemble().mean();
+    double maxerr = 0.0, mn = 1e300, mx = -1e300;
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      maxerr = std::max(maxerr, std::abs(mean[i] - truth[i]));
+      mn = std::min(mn, mean[i]);
+      mx = std::max(mx, mean[i]);
+    }
+    std::vector<double> err(mean.size());
+    for (std::size_t i = 0; i < mean.size(); ++i) err[i] = mean[i] - truth[i];
+    io::write_npy("fig5_mean_" + c.name + ".npy", mean, {2, cfg.n, cfg.n});
+    io::write_npy("fig5_err_" + c.name + ".npy", err, {2, cfg.n, cfg.n});
+    t.add_row({c.name, io::Table::num(da::rmse(mean, truth), 2), io::Table::num(maxerr, 2),
+               io::Table::num(mn, 1), io::Table::num(mx, 1)});
+  }
+  io::write_npy("fig5_truth.npy", truth, {2, cfg.n, cfg.n});
+  t.print();
+  std::cout << "\nSnapshots written as fig5_{truth,mean_*,err_*}.npy (2 x " << cfg.n << " x "
+            << cfg.n << ", float64, levels z=0 and z=H).\n"
+            << "Paper shape checks: EnSF+ViT closest to truth; LETKF captures the\n"
+               "large-scale eddies but misses fine-scale extremes; free runs decorrelate.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fig. 9 reproduction: scaling the ViT surrogate to 1024 GPUs with DDP,
+// DeepSpeed ZeRO stages 1/2 and FSDP full_shard / shard_grad_op, including
+// the ZeRO bucket-size tuning story (200 MB default vs ~500 MB optimum).
+#include <iostream>
+
+#include "hpc/scaling_sim.hpp"
+#include "hpc/vit_arch.hpp"
+#include "io/table.hpp"
+
+using namespace turbda;
+using hpc::ShardStrategy;
+
+int main() {
+  hpc::ScalingSim sim;
+  const auto archs = hpc::table2_architectures();
+  const auto batches = hpc::table2_global_batches();
+  const int gpus[] = {8, 16, 32, 64, 128, 256, 512, 1024};
+
+  std::cout << "=== Fig. 9: strong scaling of ViT training on Frontier (model) ===\n";
+  std::cout << "\nScaling efficiency vs GPUs per input size (DeepSpeed stage 1, tuned "
+               "500 MB bucket):\n";
+  io::Table t({"GPUs", "64^2 / 157M", "128^2 / 1.2B", "256^2 / 2.5B"});
+  for (int n : gpus) {
+    std::vector<std::string> row{std::to_string(n)};
+    for (std::size_t a = 0; a < 3; ++a) {
+      hpc::TrainSetup s;
+      s.arch = archs[a];
+      s.global_batch = batches[a];
+      s.strategy = ShardStrategy::ZeRO1;
+      s.bucket_mb = 500.0;
+      row.push_back(io::Table::num(100.0 * sim.scaling_efficiency(s, n), 1) + "%");
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::cout << "Paper: 128^2 scales best (86% at 1024 GPUs); 64^2 and 256^2 lower.\n";
+
+  std::cout << "\nStrategy comparison for 256^2 / 2.5B at 1024 GPUs:\n";
+  io::Table st({"strategy", "bucket [MB]", "step [s]", "efficiency"});
+  struct Row {
+    ShardStrategy s;
+    double bucket;
+    const char* label;
+  };
+  const Row rows[] = {
+      {ShardStrategy::DDP, 500.0, "DDP"},
+      {ShardStrategy::ZeRO1, 200.0, "DS stage 1 (default bucket)"},
+      {ShardStrategy::ZeRO1, 500.0, "DS stage 1 (tuned bucket)"},
+      {ShardStrategy::ZeRO2, 500.0, "DS stage 2"},
+      {ShardStrategy::ZeRO2, 64.0, "FSDP shard_grad_op (fixed small bucket)"},
+      {ShardStrategy::ZeRO3, 64.0, "FSDP full_shard (fixed small bucket)"},
+      {ShardStrategy::HybridShard, 500.0, "FSDP hybrid_shard"},
+  };
+  for (const auto& r : rows) {
+    hpc::TrainSetup s;
+    s.arch = archs[2];
+    s.global_batch = batches[2];
+    s.strategy = r.s;
+    s.bucket_mb = r.bucket;
+    st.add_row({r.label, io::Table::num(r.bucket, 0),
+                io::Table::num(sim.step(s, 1024).total(), 3),
+                io::Table::num(100.0 * sim.scaling_efficiency(s, 1024), 1) + "%"});
+  }
+  st.print();
+
+  std::cout << "\nZeRO bucket-size sweep for 256^2 at 1024 GPUs:\n";
+  io::Table bt({"bucket [MB]", "efficiency"});
+  for (double mb : {25.0, 50.0, 100.0, 200.0, 300.0, 500.0, 1000.0, 2000.0, 8000.0}) {
+    hpc::TrainSetup s;
+    s.arch = archs[2];
+    s.global_batch = batches[2];
+    s.strategy = ShardStrategy::ZeRO1;
+    s.bucket_mb = mb;
+    bt.add_row({io::Table::num(mb, 0),
+                io::Table::num(100.0 * sim.scaling_efficiency(s, 1024), 1) + "%"});
+  }
+  bt.print();
+  std::cout << "Paper: the 200 MB DeepSpeed default sits on the AllReduce protocol dip; a\n"
+               "~500 MB bucket is optimal (85%); very large buckets lose compute overlap;\n"
+               "with its extra tuning knobs DeepSpeed ZeRO outperforms FSDP.\n";
+  return 0;
+}

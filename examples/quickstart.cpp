@@ -1,0 +1,51 @@
+// Quickstart: assimilate observations of a chaotic Lorenz-96 system with the
+// Ensemble Score Filter in ~50 lines.
+//
+//   build/examples/quickstart
+#include <iostream>
+
+#include "da/ensf.hpp"
+#include "da/osse.hpp"
+#include "models/lorenz96.hpp"
+
+using namespace turbda;
+
+int main() {
+  // 1. A forecast model: 40-variable Lorenz-96, observed every 0.1 time units.
+  models::Lorenz96Config mc;
+  mc.dim = 40;
+  mc.steps_per_window = 10;
+  models::Lorenz96 truth_model(mc), forecast_model(mc);
+
+  // 2. Observations: every variable, with unit error variance.
+  da::IdentityObs h(mc.dim);
+  da::DiagonalR r(mc.dim, 1.0);
+
+  // 3. The filter: EnSF in its stabilized configuration — no localization,
+  //    no inflation tuning.
+  da::EnSF filter(da::EnsfConfig::stabilized());
+
+  // 4. An OSSE: truth run + synthetic obs + 20-member ensemble cycling.
+  da::OsseConfig oc;
+  oc.cycles = 30;
+  oc.n_members = 20;
+  da::OsseRunner osse(oc, truth_model, forecast_model, h, r, &filter);
+
+  // Spin the truth onto the attractor and run.
+  std::vector<double> truth0(mc.dim, mc.forcing);
+  truth0[0] += 0.01;
+  models::Lorenz96 spin(mc);
+  for (int i = 0; i < 500; ++i) spin.step(truth0);
+
+  const auto metrics = osse.run(truth0);
+
+  std::cout << "cycle  prior RMSE  analysis RMSE  spread\n";
+  for (const auto& m : metrics) {
+    if (m.cycle % 5 == 0 || m.cycle == oc.cycles - 1)
+      std::cout << m.cycle << "\t" << m.rmse_prior << "\t" << m.rmse_post << "\t"
+                << m.spread_post << "\n";
+  }
+  std::cout << "\nThe analysis should track near the observation-error level (~1.0)\n"
+               "while an unassimilated run saturates near the climatological spread (~6).\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Error handling and contract checks.
+//
+// TURBDA_REQUIRE is an always-on precondition check that throws
+// turbda::Error (public API contract violations must not be compiled out).
+// TURBDA_ASSERT is a debug-only internal invariant check.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace turbda {
+
+/// Exception type thrown on contract violations across the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: (" << cond << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace turbda
+
+#define TURBDA_REQUIRE(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::turbda::detail::throw_error(#cond, __FILE__, __LINE__,                 \
+                                    [&] {                                      \
+                                      std::ostringstream os_;                  \
+                                      os_ << msg;                              \
+                                      return os_.str();                        \
+                                    }());                                      \
+    }                                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define TURBDA_ASSERT(cond) ((void)0)
+#else
+#define TURBDA_ASSERT(cond) TURBDA_REQUIRE(cond, "internal invariant")
+#endif

@@ -1,0 +1,65 @@
+// Small math helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numbers>
+#include <span>
+
+#include "common/check.hpp"
+
+namespace turbda {
+
+inline constexpr double kPi = std::numbers::pi_v<double>;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi_v<double>;
+
+template <typename T>
+[[nodiscard]] constexpr T sqr(T x) {
+  return x * x;
+}
+
+/// True iff n is a power of two (n > 0).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// log2 of a power-of-two value.
+[[nodiscard]] constexpr int ilog2(std::size_t n) {
+  int l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+/// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Euclidean 2-norm of a span.
+[[nodiscard]] inline double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+/// RMS of a span (norm2 / sqrt(n)).
+[[nodiscard]] inline double rms(std::span<const double> v) {
+  TURBDA_REQUIRE(!v.empty(), "rms of empty span");
+  return norm2(v) / std::sqrt(static_cast<double>(v.size()));
+}
+
+/// Dot product.
+[[nodiscard]] inline double dot(std::span<const double> a, std::span<const double> b) {
+  TURBDA_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  TURBDA_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace turbda

@@ -1,0 +1,45 @@
+// Lightweight wall-clock timing utilities used by benches and profilers.
+#pragma once
+
+#include <chrono>
+
+namespace turbda {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals (e.g. per-phase
+/// profiling of an assimilation cycle).
+class AccumTimer {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  [[nodiscard]] double seconds() const { return total_; }
+  void reset() { total_ = 0.0; running_ = false; }
+
+ private:
+  WallTimer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace turbda

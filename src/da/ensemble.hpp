@@ -1,0 +1,105 @@
+// Ensemble container and statistics shared by all filters.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "rng/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace turbda::da {
+
+/// An ensemble of M state vectors of dimension d, stored row-major (M x d)
+/// so member states are contiguous (each member forecast touches one row).
+class Ensemble {
+ public:
+  Ensemble(std::size_t n_members, std::size_t dim) : members_({n_members, dim}) {
+    TURBDA_REQUIRE(n_members >= 2, "ensemble needs at least 2 members");
+  }
+
+  [[nodiscard]] std::size_t size() const { return members_.extent(0); }
+  [[nodiscard]] std::size_t dim() const { return members_.extent(1); }
+
+  [[nodiscard]] std::span<double> member(std::size_t m) { return members_.row(m); }
+  [[nodiscard]] std::span<const double> member(std::size_t m) const { return members_.row(m); }
+
+  [[nodiscard]] tensor::Tensor& data() { return members_; }
+  [[nodiscard]] const tensor::Tensor& data() const { return members_; }
+
+  /// Ensemble mean.
+  [[nodiscard]] std::vector<double> mean() const {
+    std::vector<double> mu(dim(), 0.0);
+    for (std::size_t m = 0; m < size(); ++m) {
+      const auto row = member(m);
+      for (std::size_t i = 0; i < dim(); ++i) mu[i] += row[i];
+    }
+    const double inv = 1.0 / static_cast<double>(size());
+    for (double& v : mu) v *= inv;
+    return mu;
+  }
+
+  /// Per-variable ensemble standard deviation (unbiased, divisor M-1).
+  [[nodiscard]] std::vector<double> stddev() const {
+    const auto mu = mean();
+    std::vector<double> sd(dim(), 0.0);
+    for (std::size_t m = 0; m < size(); ++m) {
+      const auto row = member(m);
+      for (std::size_t i = 0; i < dim(); ++i) {
+        const double d = row[i] - mu[i];
+        sd[i] += d * d;
+      }
+    }
+    const double inv = 1.0 / static_cast<double>(size() - 1);
+    for (double& v : sd) v = std::sqrt(v * inv);
+    return sd;
+  }
+
+  /// Mean ensemble spread: sqrt of the average per-variable variance — the
+  /// scalar usually plotted against RMSE in DA studies.
+  [[nodiscard]] double mean_spread() const {
+    const auto sd = stddev();
+    double s = 0.0;
+    for (double v : sd) s += v * v;
+    return std::sqrt(s / static_cast<double>(sd.size()));
+  }
+
+  /// Initializes members as truth + N(0, sd^2) perturbations.
+  void init_perturbed(std::span<const double> base, double sd, rng::Rng& rng) {
+    TURBDA_REQUIRE(base.size() == dim(), "init_perturbed: size mismatch");
+    for (std::size_t m = 0; m < size(); ++m) {
+      auto row = member(m);
+      rng::Rng r = rng.substream(m);
+      for (std::size_t i = 0; i < dim(); ++i) row[i] = base[i] + r.gaussian(0.0, sd);
+    }
+  }
+
+ private:
+  tensor::Tensor members_;
+};
+
+/// RMSE of the ensemble mean against the truth.
+[[nodiscard]] inline double rmse_vs_truth(const Ensemble& ens, std::span<const double> truth) {
+  TURBDA_REQUIRE(truth.size() == ens.dim(), "rmse_vs_truth: size mismatch");
+  const auto mu = ens.mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    const double d = mu[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(mu.size()));
+}
+
+/// RMSE between two state vectors.
+[[nodiscard]] inline double rmse(std::span<const double> a, std::span<const double> b) {
+  TURBDA_REQUIRE(a.size() == b.size() && !a.empty(), "rmse: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+}  // namespace turbda::da

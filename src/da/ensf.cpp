@@ -1,0 +1,171 @@
+#include "da/ensf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/gemm.hpp"
+
+namespace turbda::da {
+
+using tensor::Tensor;
+
+EnSF::EnSF(EnsfConfig cfg) : cfg_(cfg) {
+  TURBDA_REQUIRE(cfg_.euler_steps >= 2, "EnSF needs at least 2 Euler steps");
+  TURBDA_REQUIRE(cfg_.eps_alpha > 0.0 && cfg_.eps_alpha < 0.5, "eps_alpha must be in (0, 0.5)");
+  TURBDA_REQUIRE(cfg_.relax_spread >= 0.0 && cfg_.relax_spread <= 1.0,
+                 "relax_spread must be in [0,1]");
+}
+
+void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
+                   const DiagonalR& r) {
+  const std::size_t big_m = ens.size();  // number of analysis samples to draw
+  const std::size_t d = ens.dim();
+  TURBDA_REQUIRE(h.state_dim() == d, "EnSF: operator/state dim mismatch");
+  TURBDA_REQUIRE(y.size() == h.obs_dim() && r.dim() == h.obs_dim(),
+                 "EnSF: obs vector / R dim mismatch");
+
+  rng::Rng rng(cfg_.seed, /*stream=*/++cycle_);
+
+  // Forecast ensemble X (the score's target sample) — copied so the analysis
+  // can overwrite `ens` in place.
+  const Tensor forecast = ens.data();
+  const std::vector<double> prior_sd = ens.stddev();
+  // Scalar prior spread for the (optional) kernel-smoothed score bandwidth.
+  double spread_sq = 0.0;
+  for (double v : prior_sd) spread_sq += v * v;
+  spread_sq /= static_cast<double>(d);
+  const double kappa_sq = cfg_.kernel_bandwidth * cfg_.kernel_bandwidth * spread_sq;
+
+  // |x_j|^2, reused every Euler step.
+  std::vector<double> xsq(big_m);
+  for (std::size_t j = 0; j < big_m; ++j) {
+    double s = 0.0;
+    const auto row = forecast.row(j);
+    for (double v : row) s += v * v;
+    xsq[j] = s;
+  }
+
+  // Initial diffused samples: Z ~ N(0, I) at pseudo-time t = 1.
+  Tensor z({big_m, d});
+  rng.fill_gaussian(z.flat());
+
+  const std::size_t batch =
+      (cfg_.minibatch > 0) ? std::min<std::size_t>(big_m, static_cast<std::size_t>(cfg_.minibatch))
+                           : big_m;
+  std::vector<std::size_t> batch_idx(big_m);
+  std::iota(batch_idx.begin(), batch_idx.end(), 0);
+
+  const int n_steps = cfg_.euler_steps;
+  const double dt = 1.0 / n_steps;
+  const double eps_a = cfg_.eps_alpha;
+
+  // Scratch buffers.
+  Tensor logits({big_m, batch});
+  Tensor xb({batch, d});  // minibatch of forecast members
+  std::vector<double> xbsq(batch);
+  Tensor wx({big_m, d});  // softmax(W) * X_batch
+  std::vector<double> hx(h.obs_dim()), resid(h.obs_dim()), rinv_resid(h.obs_dim());
+  std::vector<double> like_grad(d);
+
+  for (int step = 0; step < n_steps; ++step) {
+    // Pseudo-time runs 1 -> dt; the last update lands the samples at t = 0.
+    // alpha is clamped (alpha(1) = eps_alpha > 0) so b(t) stays bounded.
+    const double t = 1.0 - step * dt;
+    const double alpha = 1.0 - (1.0 - eps_a) * t;
+    // Mixture-component bandwidth: beta^2 from the diffusion plus the kernel
+    // smoothing term (zero by default — then this is exactly Eq. 16).
+    const double beta_sq = t + alpha * alpha * kappa_sq;
+    const double b_t = -(1.0 - eps_a) / alpha;
+    const double sigma_sq = 1.0 - 2.0 * b_t * t;  // d(beta^2)/dt - 2 b beta^2
+    double damping = 1.0 - t;                           // h(t) = T - t with T = 1
+    switch (cfg_.damping) {
+      case LikelihoodDamping::LinearDecay: break;
+      case LikelihoodDamping::Constant: damping = 1.0; break;
+      case LikelihoodDamping::QuadraticDecay: damping *= damping; break;
+    }
+    damping *= cfg_.likelihood_strength;
+
+    // Draw this step's score minibatch (Eq. 15).
+    const Tensor* x_used = &forecast;
+    const std::vector<double>* xsq_used = &xsq;
+    if (batch < big_m) {
+      rng.shuffle(std::span<std::size_t>(batch_idx));
+      for (std::size_t j = 0; j < batch; ++j) {
+        const auto src = forecast.row(batch_idx[j]);
+        std::copy(src.begin(), src.end(), xb.row(j).begin());
+        xbsq[j] = xsq[batch_idx[j]];
+      }
+      x_used = &xb;
+      xsq_used = &xbsq;
+    }
+
+    // logits_{mj} = -|z_m - alpha x_j|^2 / (2 beta^2); the |z_m|^2 term is
+    // constant per row and drops out of the softmax.
+    logits = tensor::matmul_nt(z, *x_used);  // z x^T
+    for (std::size_t m = 0; m < big_m; ++m) {
+      auto row = logits.row(m);
+      double mx = -1e300;
+      for (std::size_t j = 0; j < batch; ++j) {
+        row[j] = (2.0 * alpha * row[j] - alpha * alpha * (*xsq_used)[j]) / (2.0 * beta_sq);
+        mx = std::max(mx, row[j]);
+      }
+      double denom = 0.0;
+      for (std::size_t j = 0; j < batch; ++j) {
+        row[j] = std::exp(row[j] - mx);
+        denom += row[j];
+      }
+      const double inv = 1.0 / denom;
+      for (std::size_t j = 0; j < batch; ++j) row[j] *= inv;
+    }
+
+    // Weighted member average: wx = W X  (sum_j w_j x_j per sample).
+    wx = tensor::matmul(logits, *x_used);
+
+    // Euler–Maruyama update of each sample.
+    const double noise_sd = std::sqrt(std::max(sigma_sq, 0.0) * dt);
+    for (std::size_t m = 0; m < big_m; ++m) {
+      auto zm = z.row(m);
+      const auto wxm = wx.row(m);
+
+      // Likelihood score at z_m: J_h^T R^{-1} (y - h(z)).
+      h.apply(zm, hx);
+      for (std::size_t i = 0; i < hx.size(); ++i) resid[i] = y[i] - hx[i];
+      r.apply_inverse(resid, rinv_resid);
+      h.adjoint(zm, rinv_resid, like_grad);
+
+      for (std::size_t i = 0; i < d; ++i) {
+        // Prior score (Eq. 15): sum_j w_j = 1, so
+        //   s = -(z - alpha * sum_j w_j x_j) / beta^2.
+        const double prior_score = -(zm[i] - alpha * wxm[i]) / beta_sq;
+        // Clamp the per-step likelihood displacement: with very small R the
+        // likelihood drift is stiff and explicit Euler would blow up.
+        const double like_step = std::clamp(sigma_sq * damping * like_grad[i] * dt,
+                                            -cfg_.max_like_step, cfg_.max_like_step);
+        zm[i] += -(b_t * zm[i] - sigma_sq * prior_score) * dt + like_step +
+                 noise_sd * rng.gaussian();
+      }
+    }
+  }
+
+  ens.data() = std::move(z);
+
+  // Relax analysis spread toward the prior spread (per-variable RTPS).
+  if (cfg_.relax_spread > 0.0) {
+    const auto post_sd = ens.stddev();
+    const auto mu = ens.mean();
+    for (std::size_t i = 0; i < d; ++i) {
+      if (post_sd[i] <= 1e-12) continue;
+      const double target = (1.0 - cfg_.relax_spread) * post_sd[i] + cfg_.relax_spread * prior_sd[i];
+      const double scale = target / post_sd[i];
+      for (std::size_t m = 0; m < big_m; ++m) {
+        auto row = ens.member(m);
+        row[i] = mu[i] + (row[i] - mu[i]) * scale;
+      }
+    }
+  }
+}
+
+}  // namespace turbda::da

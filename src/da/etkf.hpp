@@ -1,0 +1,29 @@
+// Global ETKF (Ensemble Transform Kalman Filter, Bishop et al. 2001) —
+// LETKF without localization, solved once in global ensemble space.
+// Included as the ablation point that demonstrates *why* LETKF localizes:
+// with small ensembles in high dimensions the global transform collapses.
+#pragma once
+
+#include "da/filter.hpp"
+
+namespace turbda::da {
+
+struct EtkfConfig {
+  double rtps = 0.0;            ///< relaxation-to-prior-spread factor
+  double mult_inflation = 1.0;  ///< multiplicative prior inflation
+};
+
+class ETKF final : public Filter {
+ public:
+  explicit ETKF(EtkfConfig cfg);
+
+  void analyze(Ensemble& ensemble, std::span<const double> y, const ObservationOperator& h,
+               const DiagonalR& r) override;
+
+  [[nodiscard]] std::string name() const override { return "ETKF"; }
+
+ private:
+  EtkfConfig cfg_;
+};
+
+}  // namespace turbda::da

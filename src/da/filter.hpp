@@ -1,0 +1,24 @@
+// Common analysis-step interface implemented by EnSF, LETKF and ETKF.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "da/ensemble.hpp"
+#include "da/observation.hpp"
+
+namespace turbda::da {
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Transforms the forecast (prior) ensemble into the analysis (posterior)
+  /// ensemble given observations y with error model R.
+  virtual void analyze(Ensemble& ensemble, std::span<const double> y,
+                       const ObservationOperator& h, const DiagonalR& r) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace turbda::da

@@ -1,0 +1,250 @@
+#include "da/letkf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "da/localization.hpp"
+#include "tensor/linalg.hpp"
+
+namespace turbda::da {
+
+using tensor::Tensor;
+
+LETKF::LETKF(LetkfConfig cfg) : cfg_(cfg) {
+  TURBDA_REQUIRE(cfg_.nx >= 2 && cfg_.ny >= 2 && cfg_.n_levels >= 1, "bad LETKF grid");
+  TURBDA_REQUIRE(cfg_.cutoff_m > 0.0 && cfg_.domain_m > 0.0, "bad LETKF scales");
+  TURBDA_REQUIRE(cfg_.rtps >= 0.0 && cfg_.rtps < 1.0, "RTPS factor must be in [0,1)");
+  TURBDA_REQUIRE(cfg_.mult_inflation >= 1.0, "multiplicative inflation must be >= 1");
+}
+
+namespace {
+
+/// Precomputed horizontal neighborhood: cell offsets within the GC support
+/// plus their horizontal distances.
+struct Neighborhood {
+  std::vector<int> di, dj;
+  std::vector<double> dist;
+};
+
+Neighborhood build_neighborhood(const LetkfConfig& cfg) {
+  Neighborhood nb;
+  const double dx = cfg.domain_m / static_cast<double>(cfg.nx);
+  const double dy = cfg.domain_m / static_cast<double>(cfg.ny);
+  const auto nxi = static_cast<int>(cfg.nx);
+  const auto nyi = static_cast<int>(cfg.ny);
+  // Offsets cover each periodic cell at most once: [-(n-1)/2, n/2]. The
+  // radius comparison happens in double to avoid overflow for huge cutoffs.
+  for (int j = -(nyi - 1) / 2; j <= nyi / 2; ++j) {
+    for (int i = -(nxi - 1) / 2; i <= nxi / 2; ++i) {
+      // Periodic minimum-image distance.
+      const double ddx = std::min(std::abs(i) * dx, cfg.domain_m - std::abs(i) * dx);
+      const double ddy = std::min(std::abs(j) * dy, cfg.domain_m - std::abs(j) * dy);
+      const double d = std::hypot(ddx, ddy);
+      if (d <= cfg.cutoff_m) {
+        nb.di.push_back(i);
+        nb.dj.push_back(j);
+        nb.dist.push_back(d);
+      }
+    }
+  }
+  return nb;
+}
+
+}  // namespace
+
+void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
+                    const DiagonalR& r) {
+  const std::size_t m = ens.size();
+  const std::size_t d = ens.dim();
+  const std::size_t p = h.obs_dim();
+  TURBDA_REQUIRE(d == cfg_.nx * cfg_.ny * cfg_.n_levels,
+                 "LETKF: state dim inconsistent with configured grid");
+  TURBDA_REQUIRE(y.size() == p && r.dim() == p, "LETKF: obs dim mismatch");
+
+  const auto locs_opt = h.locations();
+  TURBDA_REQUIRE(locs_opt.has_value(), "LETKF requires gridded observation locations");
+  const auto& locs = *locs_opt;
+
+  // Prior statistics; optional multiplicative inflation of perturbations.
+  const auto xbar = ens.mean();
+  Tensor xb({m, d});  // perturbations
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto row = ens.member(k);
+    for (std::size_t i = 0; i < d; ++i) xb(k, i) = (row[i] - xbar[i]) * cfg_.mult_inflation;
+  }
+  const std::vector<double> prior_sd = ens.stddev();
+
+  // Obs-space ensemble Y = h(x_k), mean ybar and perturbations Yb (p x m as
+  // column-major access pattern: we store (m x p) row-major and index [k][o]).
+  Tensor yens({m, p});
+  {
+    std::vector<double> buf(p);
+    for (std::size_t k = 0; k < m; ++k) {
+      h.apply(ens.member(k), buf);
+      std::copy(buf.begin(), buf.end(), yens.row(k).begin());
+    }
+  }
+  std::vector<double> ybar(p, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    const auto row = yens.row(k);
+    for (std::size_t o = 0; o < p; ++o) ybar[o] += row[o];
+  }
+  for (double& v : ybar) v /= static_cast<double>(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    auto row = yens.row(k);
+    for (std::size_t o = 0; o < p; ++o)
+      row[o] = (row[o] - ybar[o]) * cfg_.mult_inflation;  // now Yb
+  }
+  std::vector<double> innov(p);
+  for (std::size_t o = 0; o < p; ++o) innov[o] = y[o] - ybar[o];
+
+  // Map grid cells -> observation index (-1 when a cell is unobserved).
+  std::vector<int> cell_obs(d, -1);
+  for (std::size_t o = 0; o < p; ++o) {
+    const auto& L = locs[o];
+    TURBDA_REQUIRE(L.ix >= 0 && L.ix < static_cast<int>(cfg_.nx) && L.iy >= 0 &&
+                       L.iy < static_cast<int>(cfg_.ny) && L.level >= 0 &&
+                       L.level < static_cast<int>(cfg_.n_levels),
+                   "LETKF: observation location outside grid");
+    const std::size_t cell =
+        (static_cast<std::size_t>(L.level) * cfg_.ny + static_cast<std::size_t>(L.iy)) * cfg_.nx +
+        static_cast<std::size_t>(L.ix);
+    cell_obs[cell] = static_cast<int>(o);
+  }
+
+  const Neighborhood nb = build_neighborhood(cfg_);
+  const double gc_halfwidth = 0.5 * cfg_.cutoff_m;
+
+  // Output analysis ensemble, built column by column.
+  Tensor xa({m, d});
+
+  // Per-point scratch.
+  std::vector<int> loc_obs;
+  std::vector<double> loc_rho_over_r, loc_innov;
+  Tensor cmat({m, 1});  // resized per point
+  Tensor amat({m, m}), vmat;
+  std::vector<double> evals, cd(m), wbar(m);
+  Tensor wmat({m, m});
+
+  const auto nxi = static_cast<int>(cfg_.nx);
+  const auto nyi = static_cast<int>(cfg_.ny);
+
+  for (std::size_t lev = 0; lev < cfg_.n_levels; ++lev) {
+    for (int gj = 0; gj < nyi; ++gj) {
+      for (int gi = 0; gi < nxi; ++gi) {
+        const std::size_t g = (lev * cfg_.ny + static_cast<std::size_t>(gj)) * cfg_.nx +
+                              static_cast<std::size_t>(gi);
+
+        // Gather local observations with localization weights.
+        loc_obs.clear();
+        loc_rho_over_r.clear();
+        loc_innov.clear();
+        for (std::size_t t = 0; t < nb.di.size(); ++t) {
+          const int oi = (gi + nb.di[t] + nxi) % nxi;
+          const int oj = (gj + nb.dj[t] + nyi) % nyi;
+          for (std::size_t olev = 0; olev < cfg_.n_levels; ++olev) {
+            const std::size_t cell =
+                (olev * cfg_.ny + static_cast<std::size_t>(oj)) * cfg_.nx +
+                static_cast<std::size_t>(oi);
+            const int oidx = cell_obs[cell];
+            if (oidx < 0) continue;
+            // Rossby-coupled 3-D distance: vertical separation enters as an
+            // equivalent horizontal distance of (levels apart) * L_R.
+            const double dlev = static_cast<double>(olev) - static_cast<double>(lev);
+            const double deff = std::hypot(nb.dist[t], dlev * cfg_.rossby_radius_m);
+            const double rho = gaspari_cohn(deff, gc_halfwidth);
+            if (rho < cfg_.min_weight) continue;
+            loc_obs.push_back(oidx);
+            loc_rho_over_r.push_back(rho / r.variance(static_cast<std::size_t>(oidx)));
+            loc_innov.push_back(innov[static_cast<std::size_t>(oidx)]);
+          }
+        }
+
+        const std::size_t pl = loc_obs.size();
+        if (pl == 0) {  // no usable obs: analysis = forecast
+          for (std::size_t k = 0; k < m; ++k) xa(k, g) = xbar[g] + xb(k, g);
+          continue;
+        }
+
+        // C = Yb^T Rloc^{-1}: cmat(k, o) = Yb(k, o) * rho_o / r_o.
+        cmat.reset({m, pl});
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto yrow = yens.row(k);
+          auto crow = cmat.row(k);
+          for (std::size_t o = 0; o < pl; ++o)
+            crow[o] = yrow[static_cast<std::size_t>(loc_obs[o])] * loc_rho_over_r[o];
+        }
+
+        // A = (m-1) I + C Yb  (symmetric m x m).
+        for (std::size_t a = 0; a < m; ++a) {
+          for (std::size_t b = a; b < m; ++b) {
+            double s = 0.0;
+            const auto ca = cmat.row(a);
+            const auto yb = yens.row(b);
+            for (std::size_t o = 0; o < pl; ++o)
+              s += ca[o] * yb[static_cast<std::size_t>(loc_obs[o])];
+            amat(a, b) = s + ((a == b) ? static_cast<double>(m - 1) : 0.0);
+            amat(b, a) = amat(a, b);
+          }
+        }
+
+        tensor::jacobi_eigh(amat, vmat, evals);
+
+        // cd = C * innov_local.
+        for (std::size_t k = 0; k < m; ++k) {
+          double s = 0.0;
+          const auto crow = cmat.row(k);
+          for (std::size_t o = 0; o < pl; ++o) s += crow[o] * loc_innov[o];
+          cd[k] = s;
+        }
+        // wbar = V diag(1/lambda) V^T cd;  W = sqrt(m-1) V diag(1/sqrt(l)) V^T.
+        for (std::size_t a = 0; a < m; ++a) {
+          double s = 0.0;
+          for (std::size_t k = 0; k < m; ++k) s += vmat(k, a) * cd[k];
+          wbar[a] = s / evals[a];  // diag(1/lambda) V^T cd
+        }
+        const double sqm1 = std::sqrt(static_cast<double>(m - 1));
+        // wmat(k, i) = wbar_k + W_{k,i}: the full weight matrix whose column
+        // i produces analysis member i.
+        for (std::size_t k = 0; k < m; ++k) {
+          double wb = 0.0;
+          for (std::size_t a = 0; a < m; ++a) wb += vmat(k, a) * wbar[a];
+          for (std::size_t i = 0; i < m; ++i) {
+            double wki = 0.0;
+            for (std::size_t a = 0; a < m; ++a)
+              wki += vmat(k, a) * vmat(i, a) / std::sqrt(evals[a]);
+            wmat(k, i) = wb + sqm1 * wki;
+          }
+        }
+
+        // Analysis at this grid variable for every member:
+        //   xa_i(g) = xbar(g) + sum_k Xb(k,g) (wbar_k + W_{k,i}).
+        for (std::size_t i = 0; i < m; ++i) {
+          double wsum = 0.0;
+          for (std::size_t k = 0; k < m; ++k) wsum += xb(k, g) * wmat(k, i);
+          xa(i, g) = xbar[g] + wsum;
+        }
+      }
+    }
+  }
+
+  ens.data() = std::move(xa);
+
+  // RTPS inflation: relax analysis spread toward the prior spread.
+  if (cfg_.rtps > 0.0) {
+    const auto post_sd = ens.stddev();
+    const auto mu = ens.mean();
+    for (std::size_t i = 0; i < d; ++i) {
+      if (post_sd[i] <= 1e-12) continue;
+      const double scale = 1.0 + cfg_.rtps * (prior_sd[i] - post_sd[i]) / post_sd[i];
+      for (std::size_t k = 0; k < m; ++k) {
+        auto row = ens.member(k);
+        row[i] = mu[i] + (row[i] - mu[i]) * scale;
+      }
+    }
+  }
+}
+
+}  // namespace turbda::da

@@ -1,0 +1,29 @@
+// Localization utilities for ensemble Kalman filters.
+#pragma once
+
+#include <cmath>
+
+namespace turbda::da {
+
+/// Gaspari–Cohn 5th-order piecewise-rational correlation function
+/// (Gaspari & Cohn 1999, Eq. 4.10). `c` is the support half-width: the
+/// function is 1 at distance 0 and reaches exactly 0 at distance 2c.
+[[nodiscard]] inline double gaspari_cohn(double dist, double c) {
+  if (c <= 0.0) return dist == 0.0 ? 1.0 : 0.0;
+  const double x = std::abs(dist) / c;
+  if (x >= 2.0) return 0.0;
+  const double x2 = x * x, x3 = x2 * x, x4 = x3 * x, x5 = x4 * x;
+  if (x <= 1.0) {
+    return -0.25 * x5 + 0.5 * x4 + 0.625 * x3 - 5.0 / 3.0 * x2 + 1.0;
+  }
+  return x5 / 12.0 - 0.5 * x4 + 0.625 * x3 + 5.0 / 3.0 * x2 - 5.0 * x + 4.0 - 2.0 / (3.0 * x);
+}
+
+/// Shortest distance on a 1-D periodic axis of length `period`.
+[[nodiscard]] inline double periodic_distance(double a, double b, double period) {
+  double d = std::abs(a - b);
+  if (d > 0.5 * period) d = period - d;
+  return d;
+}
+
+}  // namespace turbda::da

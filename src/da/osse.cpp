@@ -1,0 +1,107 @@
+#include "da/osse.hpp"
+
+#include "common/check.hpp"
+
+namespace turbda::da {
+
+OsseRunner::OsseRunner(OsseConfig cfg, models::ForecastModel& truth_model,
+                       models::ForecastModel& forecast_model, const ObservationOperator& h,
+                       const DiagonalR& r, Filter* filter,
+                       const models::ModelErrorProcess* model_error)
+    : cfg_(cfg),
+      truth_model_(truth_model),
+      forecast_model_(forecast_model),
+      h_(h),
+      r_(r),
+      filter_(filter),
+      model_error_(model_error) {
+  TURBDA_REQUIRE(truth_model_.dim() == forecast_model_.dim(),
+                 "truth and forecast models must share the state dimension");
+  TURBDA_REQUIRE(h_.state_dim() == truth_model_.dim(), "observation operator dim mismatch");
+  TURBDA_REQUIRE(cfg_.cycles >= 1 && cfg_.n_members >= 2, "bad OSSE configuration");
+  if (cfg_.inject_model_error)
+    TURBDA_REQUIRE(model_error_ != nullptr,
+                   "inject_model_error requires a ModelErrorProcess instance");
+}
+
+const Ensemble& OsseRunner::ensemble() const {
+  TURBDA_REQUIRE(ens_.has_value(), "ensemble available only after run()");
+  return *ens_;
+}
+
+std::vector<CycleMetrics> OsseRunner::run(std::span<const double> truth0,
+                                          const Ensemble* initial_ensemble) {
+  const std::size_t d = truth_model_.dim();
+  TURBDA_REQUIRE(truth0.size() == d, "initial truth size mismatch");
+
+  rng::Rng root(cfg_.seed);
+  rng::Rng rng_init = root.substream(0);
+  rng::Rng rng_obs = root.substream(1);
+  rng::Rng rng_modelerr = root.substream(2);
+
+  truth_.assign(truth0.begin(), truth0.end());
+
+  ens_.emplace(cfg_.n_members, d);
+  if (initial_ensemble != nullptr) {
+    TURBDA_REQUIRE(initial_ensemble->size() == cfg_.n_members &&
+                       initial_ensemble->dim() == d,
+                   "initial ensemble shape mismatch");
+    ens_->data() = initial_ensemble->data();
+  } else {
+    ens_->init_perturbed(truth0, cfg_.init_spread, rng_init);
+  }
+
+  std::vector<double> y(h_.obs_dim());
+  std::vector<double> prev_mean = ens_->mean();
+  std::vector<CycleMetrics> metrics;
+  metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
+
+  for (int k = 0; k < cfg_.cycles; ++k) {
+    // --- forecast step -----------------------------------------------------
+    truth_model_.forecast(truth_);
+    std::vector<double> shared_err;
+    if (cfg_.inject_model_error && cfg_.model_error_shared) {
+      rng::Rng r_me = rng_modelerr.substream(static_cast<std::uint64_t>(k));
+      shared_err = model_error_->sample(d, r_me);
+    }
+    for (std::size_t m = 0; m < cfg_.n_members; ++m) {
+      forecast_model_.forecast(ens_->member(m));
+      if (cfg_.inject_model_error) {
+        if (cfg_.model_error_shared) {
+          auto row = ens_->member(m);
+          for (std::size_t i = 0; i < d; ++i) row[i] += shared_err[i];
+        } else {
+          rng::Rng r_me = rng_modelerr.substream(
+              static_cast<std::uint64_t>(k) * cfg_.n_members + m + 1000000);
+          model_error_->apply(ens_->member(m), r_me);
+        }
+      }
+    }
+
+    CycleMetrics cm;
+    cm.cycle = k;
+    cm.time_hours = (k + 1) * cfg_.window_hours;
+    cm.rmse_prior = rmse_vs_truth(*ens_, truth_);
+    cm.spread_prior = ens_->mean_spread();
+
+    // --- observation + analysis -------------------------------------------
+    if (filter_ != nullptr) {
+      h_.apply(truth_, y);
+      rng::Rng r_obs = rng_obs.substream(static_cast<std::uint64_t>(k));
+      r_.perturb(y, r_obs);
+      filter_->analyze(*ens_, y, h_, r_);
+    }
+    cm.rmse_post = rmse_vs_truth(*ens_, truth_);
+    cm.spread_post = ens_->mean_spread();
+    metrics.push_back(cm);
+
+    if (hook_) {
+      const auto mean = ens_->mean();
+      hook_(k, mean);
+    }
+    prev_mean = ens_->mean();
+  }
+  return metrics;
+}
+
+}  // namespace turbda::da

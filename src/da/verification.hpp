@@ -1,0 +1,89 @@
+// Probabilistic verification metrics for ensemble forecasts: CRPS, rank
+// histograms, and spread-skill consistency — the standard toolkit for
+// judging whether a DA system's uncertainty is calibrated (not just whether
+// its mean is accurate, which is all RMSE sees).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "da/ensemble.hpp"
+
+namespace turbda::da {
+
+/// Continuous Ranked Probability Score of an ensemble against a scalar
+/// truth, using the fair sample estimator
+///   CRPS = mean_i |x_i - y| - (1 / (2 M^2)) sum_ij |x_i - x_j|.
+/// Lower is better; for a deterministic forecast it reduces to |x - y|.
+[[nodiscard]] inline double crps_scalar(std::span<const double> members, double truth) {
+  TURBDA_REQUIRE(!members.empty(), "crps of empty ensemble");
+  const auto m = static_cast<double>(members.size());
+  double term1 = 0.0;
+  for (double x : members) term1 += std::abs(x - truth);
+  term1 /= m;
+  // O(M log M) via sorting: sum_ij |x_i - x_j| = 2 * sum_k (2k - M + 1) x_(k).
+  std::vector<double> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  double term2 = 0.0;
+  for (std::size_t k = 0; k < sorted.size(); ++k)
+    term2 += (2.0 * static_cast<double>(k) - m + 1.0) * sorted[k];
+  term2 /= (m * m);
+  return term1 - term2;
+}
+
+/// Mean CRPS over all state variables.
+[[nodiscard]] inline double crps(const Ensemble& ens, std::span<const double> truth) {
+  TURBDA_REQUIRE(truth.size() == ens.dim(), "crps: truth size mismatch");
+  std::vector<double> column(ens.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < ens.dim(); ++i) {
+    for (std::size_t k = 0; k < ens.size(); ++k) column[k] = ens.member(k)[i];
+    total += crps_scalar(column, truth[i]);
+  }
+  return total / static_cast<double>(ens.dim());
+}
+
+/// Rank histogram (Talagrand diagram): for each variable, the rank of the
+/// truth within the sorted ensemble (0..M). A calibrated ensemble yields a
+/// flat histogram; a U-shape means under-dispersion (the LETKF failure mode
+/// under unrepresented model error), a dome over-dispersion.
+[[nodiscard]] inline std::vector<double> rank_histogram(const Ensemble& ens,
+                                                        std::span<const double> truth) {
+  TURBDA_REQUIRE(truth.size() == ens.dim(), "rank_histogram: truth size mismatch");
+  std::vector<double> hist(ens.size() + 1, 0.0);
+  for (std::size_t i = 0; i < ens.dim(); ++i) {
+    std::size_t rank = 0;
+    for (std::size_t k = 0; k < ens.size(); ++k)
+      if (ens.member(k)[i] < truth[i]) ++rank;
+    hist[rank] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(ens.dim());
+  for (double& h : hist) h *= inv;
+  return hist;
+}
+
+/// Chi-square-style flatness deviation of a rank histogram: 0 = perfectly
+/// flat, larger = less calibrated. Comparable across ensembles of the same
+/// size and state dimension.
+[[nodiscard]] inline double rank_histogram_flatness(std::span<const double> hist) {
+  TURBDA_REQUIRE(!hist.empty(), "empty histogram");
+  const double expected = 1.0 / static_cast<double>(hist.size());
+  double dev = 0.0;
+  for (double h : hist) dev += sqr(h - expected) / expected;
+  return dev;
+}
+
+/// Spread-skill ratio: mean ensemble spread over RMSE of the mean. A
+/// calibrated system stays near sqrt((M+1)/M) ~ 1; << 1 flags the
+/// overconfidence that precedes filter divergence.
+[[nodiscard]] inline double spread_skill_ratio(const Ensemble& ens,
+                                               std::span<const double> truth) {
+  const double skill = rmse_vs_truth(ens, truth);
+  TURBDA_REQUIRE(skill > 0.0, "spread_skill_ratio: zero error");
+  return ens.mean_spread() / skill;
+}
+
+}  // namespace turbda::da

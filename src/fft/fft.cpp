@@ -1,0 +1,99 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+
+namespace turbda::fft {
+
+Fft1D::Fft1D(std::size_t n) : n_(n) {
+  TURBDA_REQUIRE(is_pow2(n), "FFT length must be a power of two, got " << n);
+  log2n_ = ilog2(n);
+  bitrev_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (int b = 0; b < log2n_; ++b) r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
+    bitrev_[i] = r;
+  }
+  twiddle_fwd_.resize(n / 2);
+  twiddle_inv_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    twiddle_fwd_[k] = Cplx(std::cos(ang), std::sin(ang));
+    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  }
+}
+
+void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
+  TURBDA_REQUIRE(x.size() == n_, "FFT input length " << x.size() << " != plan length " << n_);
+  if (n_ == 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  const auto& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t step = n_ / len;  // twiddle stride
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Cplx w = tw[k * step];
+        const Cplx u = x[base + k];
+        const Cplx t = w * x[base + k + half];
+        x[base + k] = u + t;
+        x[base + k + half] = u - t;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (auto& v : x) v *= scale;
+  }
+}
+
+Fft2D::Fft2D(std::size_t n0, std::size_t n1) : n0_(n0), n1_(n1), row_(n1), col_(n0) {}
+
+namespace {
+void columns(std::span<Cplx> x, std::size_t n0, std::size_t n1, const Fft1D& plan, bool inverse) {
+  std::vector<Cplx> tmp(n0);
+  for (std::size_t j = 0; j < n1; ++j) {
+    for (std::size_t i = 0; i < n0; ++i) tmp[i] = x[i * n1 + j];
+    if (inverse) {
+      plan.inverse(tmp);
+    } else {
+      plan.forward(tmp);
+    }
+    for (std::size_t i = 0; i < n0; ++i) x[i * n1 + j] = tmp[i];
+  }
+}
+}  // namespace
+
+void Fft2D::forward(std::span<Cplx> x) const {
+  TURBDA_REQUIRE(x.size() == n0_ * n1_, "Fft2D::forward: wrong buffer size");
+  for (std::size_t i = 0; i < n0_; ++i) row_.forward(x.subspan(i * n1_, n1_));
+  columns(x, n0_, n1_, col_, /*inverse=*/false);
+}
+
+void Fft2D::inverse(std::span<Cplx> x) const {
+  TURBDA_REQUIRE(x.size() == n0_ * n1_, "Fft2D::inverse: wrong buffer size");
+  for (std::size_t i = 0; i < n0_; ++i) row_.inverse(x.subspan(i * n1_, n1_));
+  columns(x, n0_, n1_, col_, /*inverse=*/true);
+}
+
+void Fft2D::forward_real(std::span<const double> grid, std::span<Cplx> spec) const {
+  TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
+                 "forward_real: wrong buffer sizes");
+  for (std::size_t i = 0; i < grid.size(); ++i) spec[i] = Cplx(grid[i], 0.0);
+  forward(spec);
+}
+
+void Fft2D::inverse_real(std::span<const Cplx> spec, std::span<double> grid) const {
+  TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
+                 "inverse_real: wrong buffer sizes");
+  std::vector<Cplx> tmp(spec.begin(), spec.end());
+  inverse(tmp);
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = tmp[i].real();
+}
+
+}  // namespace turbda::fft

@@ -1,0 +1,65 @@
+// Fast Fourier transforms for the spectral SQG solver.
+//
+// Iterative radix-2 Cooley–Tukey with precomputed twiddles (power-of-two
+// sizes; the paper's grids are 64, 128, 256). 2-D transforms run rows then
+// columns. Convention matches numpy: forward unnormalized, inverse carries
+// the 1/N factor — so does the sqgturb reference implementation the paper
+// follows.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::fft {
+
+using Cplx = std::complex<double>;
+
+/// 1-D FFT plan of fixed power-of-two length.
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] exp(-2πi jk / n).
+  void forward(std::span<Cplx> x) const { transform(x, /*inverse=*/false); }
+
+  /// In-place inverse DFT with 1/n normalization.
+  void inverse(std::span<Cplx> x) const { transform(x, /*inverse=*/true); }
+
+ private:
+  void transform(std::span<Cplx> x, bool inverse) const;
+
+  std::size_t n_;
+  int log2n_;
+  std::vector<std::size_t> bitrev_;
+  std::vector<Cplx> twiddle_fwd_;  // exp(-2πi k / n), k < n/2
+  std::vector<Cplx> twiddle_inv_;
+};
+
+/// 2-D FFT plan over row-major (n0 x n1) complex arrays.
+class Fft2D {
+ public:
+  Fft2D(std::size_t n0, std::size_t n1);
+
+  [[nodiscard]] std::size_t rows() const { return n0_; }
+  [[nodiscard]] std::size_t cols() const { return n1_; }
+
+  void forward(std::span<Cplx> x) const;
+  void inverse(std::span<Cplx> x) const;
+
+  /// Real grid -> full complex spectrum (Hermitian-redundant but simple).
+  void forward_real(std::span<const double> grid, std::span<Cplx> spec) const;
+
+  /// Complex spectrum -> real grid (imaginary residue must be round-off).
+  void inverse_real(std::span<const Cplx> spec, std::span<double> grid) const;
+
+ private:
+  std::size_t n0_, n1_;
+  Fft1D row_, col_;
+};
+
+}  // namespace turbda::fft

@@ -1,0 +1,72 @@
+#include "hpc/collective_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbda::hpc {
+
+double CollectiveModel::bottleneck_bw(int n_gpus) const {
+  if (n_gpus <= 2) return spec_.intra_mcm_bw * 1e9;
+  if (n_gpus <= spec_.gcds_per_node) return spec_.intra_node_bw * 1e9;
+  // Ring spans nodes: each node's 8 ranks share the Slingshot injection
+  // bandwidth, with a modest multi-channel pipelining recovery. Achieved
+  // bandwidth further degrades with node count (longer rings expose jitter
+  // and adaptive-routing congestion — visible in the Fig. 8 busbw decay).
+  const double share = spec_.inter_node_bw / spec_.gcds_per_node;  // 12.5 GB/s
+  const double pipelined = share * 1.4;
+  const double nodes = static_cast<double>(n_gpus) / spec_.gcds_per_node;
+  const double l = std::log2(std::max(1.0, nodes));
+  const double scale_degradation = 1.0 / (1.0 + 0.02 * l * l);
+  return pipelined * scale_degradation * 1e9;
+}
+
+double CollectiveModel::seconds(Collective op, double bytes, int n_gpus) const {
+  if (n_gpus <= 1) return 0.0;
+  const double n = n_gpus;
+  const double bw = bottleneck_bw(n_gpus);
+  const int hops = n_gpus - 1;
+  const double per_hop_latency =
+      (n_gpus <= spec_.gcds_per_node) ? spec_.intra_node_latency : spec_.inter_node_latency;
+
+  // Ring data volume per rank.
+  double steps_factor = 0.0;
+  switch (op) {
+    case Collective::AllReduce: steps_factor = 2.0 * (n - 1.0) / n; break;
+    case Collective::AllGather:
+    case Collective::ReduceScatter: steps_factor = (n - 1.0) / n; break;
+  }
+  double latency_hops = static_cast<double>(hops);
+  double eff = 1.0;
+
+  if (op == Collective::AllReduce) {
+    // Tree/LL protocols halve latency exposure at scale for AllReduce.
+    latency_hops = 2.0 * std::log2(n);
+    // Protocol-switch window: efficiency dip around 256 MB (Fig. 8).
+    const double mb = bytes / (1024.0 * 1024.0);
+    if (mb > 128.0 && mb < 512.0) {
+      const double x = (std::log2(mb) - std::log2(128.0)) / 2.0;  // 0..1 over the window
+      eff = 1.0 - 0.45 * std::sin(x * 3.14159265358979);
+    }
+    latency_hops *= 2.0;  // reduce + broadcast phases
+  }
+
+  // Small messages cannot saturate the links (protocol overhead per chunk).
+  const double sat = bytes / (bytes + 4.0 * 1024.0 * 1024.0);
+
+  return steps_factor * bytes / (bw * eff * sat) + latency_hops * per_hop_latency;
+}
+
+double CollectiveModel::bus_bandwidth(Collective op, double bytes, int n_gpus) const {
+  if (n_gpus <= 1) return 0.0;
+  const double n = n_gpus;
+  const double t = seconds(op, bytes, n_gpus);
+  double factor = 0.0;
+  switch (op) {
+    case Collective::AllReduce: factor = 2.0 * (n - 1.0) / n; break;
+    case Collective::AllGather:
+    case Collective::ReduceScatter: factor = (n - 1.0) / n; break;
+  }
+  return factor * bytes / t / 1e9;
+}
+
+}  // namespace turbda::hpc

@@ -1,0 +1,44 @@
+// RCCL collective bandwidth model (Fig. 8).
+//
+// Hierarchical ring alpha-beta model over the Frontier topology: a ring
+// spanning n GCDs crosses ceil(n/8) node boundaries, so the bottleneck link
+// is Slingshot once n > 8 (each rank's inter-node traffic shares the node's
+// injection bandwidth). Matches the paper's observations:
+//   - for 64 MB messages AllReduce significantly outperforms AllGather /
+//     ReduceScatter at scale (RCCL switches to tree/LL protocols for
+//     AllReduce, halving the latency exposure);
+//   - for ~1 GB messages all three collectives converge;
+//   - AllReduce shows a sudden bandwidth drop around 256 MB (protocol
+//     switch), which is why DeepSpeed's default 200 MB bucket underperforms
+//     and a ~500 MB bucket is optimal (Fig. 9 discussion).
+#pragma once
+
+#include <cstddef>
+
+#include "hpc/frontier.hpp"
+
+namespace turbda::hpc {
+
+enum class Collective { AllReduce, AllGather, ReduceScatter };
+
+class CollectiveModel {
+ public:
+  explicit CollectiveModel(FrontierSpec spec = {}) : spec_(spec) {}
+
+  /// Wall time [s] for the collective over a buffer of `bytes` across
+  /// `n_gpus` GCDs (packed 8 per node).
+  [[nodiscard]] double seconds(Collective op, double bytes, int n_gpus) const;
+
+  /// Bus bandwidth [GB/s] as nccl-tests defines it: the hardware-limited
+  /// figure of merit that should be flat in n for a perfect implementation.
+  [[nodiscard]] double bus_bandwidth(Collective op, double bytes, int n_gpus) const;
+
+  [[nodiscard]] const FrontierSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] double bottleneck_bw(int n_gpus) const;
+
+  FrontierSpec spec_;
+};
+
+}  // namespace turbda::hpc

@@ -1,0 +1,46 @@
+// Machine description of OLCF Frontier as published (paper §IV):
+//   "Each Frontier node is equipped with four AMD Instinct MI250X GPUs with
+//    dual Graphics Compute Dies (GCDs) ... All four MI250Xs (eight effective
+//    GPUs) are connected using 100 GB/s Infinity Fabric (200 GB/s between 2
+//    GCDs of MI250X), and the nodes are connected via a Slingshot-11
+//    interconnect with 100 GB/s of bandwidth. Frontier consists of 9408
+//    nodes, i.e., 75,264 effective GPUs (each with 64 GB HBM)."
+//
+// These constants parameterize every performance model in turbda::hpc; they
+// are data, not behaviour, so substituting a different machine only means
+// editing this struct.
+#pragma once
+
+#include <cstddef>
+
+namespace turbda::hpc {
+
+struct FrontierSpec {
+  // Topology.
+  int gcds_per_node = 8;
+  int total_nodes = 9408;
+
+  // Link bandwidths [GB/s] (unidirectional, usable).
+  double intra_mcm_bw = 200.0;   ///< between the two GCDs of one MI250X
+  double intra_node_bw = 100.0;  ///< Infinity Fabric between MI250Xs
+  double inter_node_bw = 100.0;  ///< Slingshot-11 node injection bandwidth
+
+  // Latency terms [s] per hop for the alpha-beta collective model.
+  double intra_node_latency = 3.0e-6;
+  double inter_node_latency = 8.0e-6;
+
+  // Per-GCD compute peaks [TFLOPS].
+  double peak_bf16_tflops = 191.5;  ///< matrix engines, half precision
+  double peak_fp32_tflops = 47.9;   ///< matrix fp32
+  double hbm_gb = 64.0;
+  double hbm_bw_gbs = 1600.0;
+
+  // Effective parallel-filesystem bandwidth per GCD [GB/s] for training IO.
+  double io_bw_per_gcd = 0.2;
+
+  [[nodiscard]] long total_gcds() const {
+    return static_cast<long>(gcds_per_node) * total_nodes;
+  }
+};
+
+}  // namespace turbda::hpc

@@ -1,0 +1,65 @@
+#include "hpc/gemm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace turbda::hpc {
+
+double GemmModel::tflops(std::size_t m, std::size_t n, std::size_t k) const {
+  const double md = static_cast<double>(m), nd = static_cast<double>(n),
+               kd = static_cast<double>(k);
+
+  // Inner-dimension saturation: MFMA pipelines need a deep k to hide operand
+  // loads; ~half efficiency at k = 512, saturating beyond a few thousand.
+  const double k_sat = kd / (kd + 512.0);
+
+  // Output-tile saturation: the m*n grid must fill the CUs (110 per GCD,
+  // 256x256 macro tiles); ~half efficiency when only ~32 tiles are live.
+  const double tiles = (md / 256.0) * (nd / 256.0);
+  const double tile_sat = tiles / (tiles + 32.0);
+
+  // Alignment: dimensions off multiples of 64 pay a ragged-tile penalty.
+  auto align = [](double d) {
+    const double rem = std::fmod(d, 64.0);
+    return (rem == 0.0) ? 1.0 : 0.85;
+  };
+  const double align_f = align(md) * align(nd) * align(kd);
+
+  // Very large k slightly degrades (L2 pressure / split-k overhead).
+  const double big_k = (kd > 8192.0) ? 0.92 : 1.0;
+
+  const double eff = 0.35 * k_sat * tile_sat * align_f * big_k;
+  return std::max(0.5, spec_.peak_bf16_tflops * eff);
+}
+
+std::vector<GemmModel::GemmShape> GemmModel::vit_block_gemms(const nn::VitConfig& cfg,
+                                                             std::size_t batch) {
+  const std::size_t t = cfg.tokens();
+  const std::size_t e = cfg.embed_dim;
+  const std::size_t dh = e / cfg.heads;
+  const std::size_t hidden = cfg.mlp_hidden();
+  const std::size_t rows = batch * t;
+  const double heads = static_cast<double>(cfg.heads) * static_cast<double>(batch);
+  return {
+      {rows, 3 * e, e, 1.0},   // fused QKV projection
+      {t, t, dh, heads},       // attention scores Q K^T
+      {t, dh, t, heads},       // context A V
+      {rows, e, e, 1.0},       // output projection
+      {rows, hidden, e, 1.0},  // MLP up
+      {rows, e, hidden, 1.0},  // MLP down
+  };
+}
+
+double GemmModel::vit_training_tflops(const nn::VitConfig& cfg, std::size_t batch) const {
+  double flops = 0.0, secs = 0.0;
+  for (const auto& g : vit_block_gemms(cfg, batch)) {
+    const double f = 2.0 * static_cast<double>(g.m) * static_cast<double>(g.n) *
+                     static_cast<double>(g.k) * g.count;
+    // Training = forward + backward (two GEMMs of the same volume each).
+    flops += 3.0 * f;
+    secs += 3.0 * g.count * seconds(g.m, g.n, g.k);
+  }
+  return flops / secs / 1e12;
+}
+
+}  // namespace turbda::hpc

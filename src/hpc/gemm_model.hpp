@@ -1,0 +1,53 @@
+// MI250X GEMM throughput model behind the Fig. 6 kernel-sizing heatmap.
+//
+// GEMM efficiency on matrix engines depends strongly on operand shapes
+// (paper §III-B-a, citing Yin et al. 2021 and Anthony et al. 2024): small
+// inner dimensions underutilize the MFMA pipelines, very skinny or ragged
+// tiles waste wavefronts. The model multiplies the hardware peak by simple
+// saturation/alignment factors; its constants are calibrated so the ViT
+// sweep reproduces the paper's observed 20-52 TFLOPS range with the best
+// configuration at embedding 2048, performance decreasing with head count
+// and increasing with MLP ratio.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hpc/frontier.hpp"
+#include "nn/vit.hpp"
+
+namespace turbda::hpc {
+
+class GemmModel {
+ public:
+  explicit GemmModel(FrontierSpec spec = {}) : spec_(spec) {}
+
+  /// Sustained TFLOPS of a single (m x k) * (k x n) half-precision GEMM on
+  /// one GCD.
+  [[nodiscard]] double tflops(std::size_t m, std::size_t n, std::size_t k) const;
+
+  /// Seconds to execute the GEMM on one GCD.
+  [[nodiscard]] double seconds(std::size_t m, std::size_t n, std::size_t k) const {
+    const double fl = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(k);
+    return fl / (tflops(m, n, k) * 1e12);
+  }
+
+  /// All forward GEMMs of one ViT block for a given micro-batch, as
+  /// (m, n, k, count) tuples — the shapes that Fig. 6 sweeps.
+  struct GemmShape {
+    std::size_t m, n, k;
+    double count;
+  };
+  [[nodiscard]] static std::vector<GemmShape> vit_block_gemms(const nn::VitConfig& cfg,
+                                                              std::size_t batch);
+
+  /// Sustained training TFLOPS of the whole ViT layer stack on one GCD
+  /// (forward + 2x backward), the quantity plotted in the Fig. 6 heatmap.
+  [[nodiscard]] double vit_training_tflops(const nn::VitConfig& cfg, std::size_t batch) const;
+
+ private:
+  FrontierSpec spec_;
+};
+
+}  // namespace turbda::hpc

@@ -1,0 +1,123 @@
+// FSDP / DeepSpeed-ZeRO memory-partitioning arithmetic (Table I) and
+// per-step data-parallel communication volumes.
+//
+// Paper §III-B-b: "ViT training necessitates approximately 12 times the
+// model parameter size in memory storage, encompassing model weights (1X),
+// optimizer states (2X for Adam), gradients (1X), and intermediate storage
+// (2X) like FSDP units", with the Table I correspondence:
+//
+//   method | optimizer      | optimizer+gradient | optimizer+gradient+weight | hierarchical
+//   FSDP   | n/a            | shard_grad_op      | full_shard                | hybrid_shard
+//   ZeRO   | stage 1        | stage 2            | stage 3                   | n/a
+//
+// and "due to the AllGather operation for partitions, FSDP incurs
+// approximately 50% more communication volume compared to data parallelism".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace turbda::hpc {
+
+/// Distributed data-parallel strategies (DDP replicates everything).
+enum class ShardStrategy {
+  DDP,          ///< plain data parallel: everything replicated
+  ZeRO1,        ///< shard optimizer states            (FSDP: n/a)
+  ZeRO2,        ///< shard optimizer + gradients       (FSDP: shard_grad_op)
+  ZeRO3,        ///< shard optimizer + gradients + weights (FSDP: full_shard)
+  HybridShard,  ///< full shard inside a node, replicate across nodes
+};
+
+[[nodiscard]] inline std::string to_string(ShardStrategy s) {
+  switch (s) {
+    case ShardStrategy::DDP: return "DDP";
+    case ShardStrategy::ZeRO1: return "ZeRO-1/optimizer";
+    case ShardStrategy::ZeRO2: return "ZeRO-2/shard_grad_op";
+    case ShardStrategy::ZeRO3: return "ZeRO-3/full_shard";
+    case ShardStrategy::HybridShard: return "hybrid_shard";
+  }
+  return "?";
+}
+
+struct MemoryBreakdown {
+  double weights = 0.0;       // in parameter-size units (1X = P elements)
+  double gradients = 0.0;
+  double optimizer = 0.0;
+  double intermediate = 0.0;
+  [[nodiscard]] double total() const { return weights + gradients + optimizer + intermediate; }
+};
+
+class MemoryModel {
+ public:
+  /// Multipliers in units of the parameter count, matching the paper's 1X /
+  /// 1X / 2X / 2X budget (total 6X elements; with the paper's half-precision
+  /// storage convention that is "~12x the [half-precision] parameter size").
+  struct Multipliers {
+    double weights = 1.0;
+    double gradients = 1.0;
+    double optimizer = 2.0;  // Adam m + v
+    double intermediate = 2.0;
+  };
+
+  MemoryModel() : mult_(Multipliers{}) {}
+  explicit MemoryModel(Multipliers mult) : mult_(mult) {}
+
+  /// Per-GPU memory in parameter-size units for P parameters over
+  /// `world` GPUs (node_size used by HybridShard).
+  [[nodiscard]] MemoryBreakdown per_gpu(double params, ShardStrategy s, int world,
+                                        int node_size = 8) const {
+    TURBDA_REQUIRE(world >= 1 && node_size >= 1, "bad world/node size");
+    const double w = static_cast<double>(world);
+    const double shard_group = std::min<double>(w, node_size);  // HybridShard group
+    MemoryBreakdown b;
+    b.weights = mult_.weights * params;
+    b.gradients = mult_.gradients * params;
+    b.optimizer = mult_.optimizer * params;
+    b.intermediate = mult_.intermediate * params;
+    switch (s) {
+      case ShardStrategy::DDP: break;
+      case ShardStrategy::ZeRO1: b.optimizer /= w; break;
+      case ShardStrategy::ZeRO2:
+        b.optimizer /= w;
+        b.gradients /= w;
+        break;
+      case ShardStrategy::ZeRO3:
+        b.optimizer /= w;
+        b.gradients /= w;
+        b.weights /= w;
+        break;
+      case ShardStrategy::HybridShard:
+        b.optimizer /= shard_group;
+        b.gradients /= shard_group;
+        b.weights /= shard_group;
+        break;
+    }
+    return b;
+  }
+
+  /// Per-step communication volume per GPU in parameter-size units
+  /// (elements moved on the wire, ring-collective accounting):
+  ///   DDP / ZeRO-1: all-reduce of gradients           -> 2 P (n-1)/n
+  ///   ZeRO-2:       reduce-scatter grads + all-gather params -> 2 P (n-1)/n
+  ///   ZeRO-3/FSDP:  all-gather params (fwd) + all-gather params (bwd)
+  ///                 + reduce-scatter grads            -> 3 P (n-1)/n  (+50%)
+  [[nodiscard]] double comm_volume_per_gpu(double params, ShardStrategy s, int world) const {
+    if (world <= 1) return 0.0;
+    const double ring = static_cast<double>(world - 1) / static_cast<double>(world);
+    switch (s) {
+      case ShardStrategy::DDP:
+      case ShardStrategy::ZeRO1:
+      case ShardStrategy::ZeRO2: return 2.0 * params * ring;
+      case ShardStrategy::ZeRO3:
+      case ShardStrategy::HybridShard: return 3.0 * params * ring;
+    }
+    return 0.0;
+  }
+
+ private:
+  Multipliers mult_;
+};
+
+}  // namespace turbda::hpc

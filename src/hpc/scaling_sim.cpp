@@ -1,0 +1,87 @@
+#include "hpc/scaling_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace turbda::hpc {
+
+StepBreakdown ScalingSim::step(const TrainSetup& setup, int n_gpus) const {
+  TURBDA_REQUIRE(n_gpus >= 1, "need at least one GPU");
+  const auto& arch = setup.arch;
+  const std::size_t per_gpu_batch =
+      std::max<std::size_t>(1, setup.global_batch / static_cast<std::size_t>(n_gpus));
+
+  StepBreakdown b;
+
+  // --- compute: forward + backward over all blocks ---------------------------
+  double secs = 0.0;
+  for (const auto& g : GemmModel::vit_block_gemms(arch, per_gpu_batch))
+    secs += 3.0 * g.count * gemm_.seconds(g.m, g.n, g.k);
+  secs *= static_cast<double>(arch.depth);
+  // Non-GEMM work (layernorms, softmax, patch embed, optimizer) ~ 12%.
+  b.compute_s = secs * 1.12;
+
+  // --- IO: the async loader prefetches a fixed window of samples per step;
+  // larger inputs move more bytes per sample, so the IO share grows slightly
+  // with input size (Fig. 7's observation).
+  const double prefetch_samples = 8.0;
+  const double io_bytes = prefetch_samples * static_cast<double>(arch.state_dim()) * 4.0;
+  b.io_s = io_bytes / (spec_.io_bw_per_gcd * 1e9) + 5e-4;
+
+  // --- communication: bucketed gradient/parameter traffic --------------------
+  if (n_gpus > 1) {
+    const double params = static_cast<double>(arch.param_count());
+    MemoryModel mem;
+    const double volume_elems = mem.comm_volume_per_gpu(params, setup.strategy, n_gpus);
+    // Ring accounting is inside CollectiveModel::seconds; convert the volume
+    // to "how many bytes pass through each collective call": the collective
+    // is invoked once per bucket over bucket-sized buffers.
+    const double wire_bytes = params * setup.precision_bytes;
+    const double bucket_bytes = setup.bucket_mb * 1024.0 * 1024.0;
+    const double n_buckets = std::max(1.0, std::ceil(wire_bytes / bucket_bytes));
+    const double bytes_per_bucket = wire_bytes / n_buckets;
+
+    // Collective mix per strategy (volume multiplier relative to one
+    // gradient all-reduce pass).
+    double comm = 0.0;
+    const double t_ar = coll_.seconds(Collective::AllReduce, bytes_per_bucket, n_gpus);
+    const double t_ag = coll_.seconds(Collective::AllGather, bytes_per_bucket, n_gpus);
+    const double t_rs = coll_.seconds(Collective::ReduceScatter, bytes_per_bucket, n_gpus);
+    switch (setup.strategy) {
+      case ShardStrategy::DDP:
+      case ShardStrategy::ZeRO1:
+        comm = n_buckets * t_ar;  // gradient all-reduce
+        break;
+      case ShardStrategy::ZeRO2:
+        comm = n_buckets * (t_rs + t_ag);  // RS grads + AG params
+        break;
+      case ShardStrategy::ZeRO3:
+        comm = n_buckets * (2.0 * t_ag + t_rs);  // AG fwd + AG bwd + RS grads
+        break;
+      case ShardStrategy::HybridShard: {
+        // Full shard within the node, gradient all-reduce across nodes.
+        const int in_node = std::min(n_gpus, spec_.gcds_per_node);
+        const int nodes = std::max(1, n_gpus / spec_.gcds_per_node);
+        comm = n_buckets * (2.0 * coll_.seconds(Collective::AllGather, bytes_per_bucket, in_node) +
+                            coll_.seconds(Collective::ReduceScatter, bytes_per_bucket, in_node) +
+                            coll_.seconds(Collective::AllReduce, bytes_per_bucket, nodes));
+        break;
+      }
+    }
+    (void)volume_elems;
+
+    // Overlap with backward compute: gradient communication for early layers
+    // overlaps the rest of the backward pass. More buckets -> finer pipeline
+    // -> better overlap; one giant bucket can only start when its bucket is
+    // full.
+    const double pipeline = n_buckets / (n_buckets + 2.0);
+    const double overlappable = 0.65 * pipeline * b.compute_s;
+    b.comm_s = std::max(comm - overlappable, 0.10 * comm);
+  }
+
+  return b;
+}
+
+}  // namespace turbda::hpc

@@ -1,0 +1,60 @@
+// Table II architectures and the Eq. (18) FLOPs budget.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hpc/frontier.hpp"
+#include "nn/vit.hpp"
+
+namespace turbda::hpc {
+
+/// The three surrogate sizes of Table II (input / patch / layers / heads /
+/// embed / MLP ratio -> 157M / 1.2B / 2.5B parameters).
+[[nodiscard]] inline std::vector<nn::VitConfig> table2_architectures() {
+  nn::VitConfig small;
+  small.image = 64;
+  small.patch = 4;
+  small.depth = 12;
+  small.heads = 8;
+  small.embed_dim = 1024;
+  small.mlp_ratio = 4.0;
+  small.channels = 2;
+
+  nn::VitConfig mid = small;
+  mid.image = 128;
+  mid.depth = 24;
+  mid.embed_dim = 2048;
+
+  nn::VitConfig large = mid;
+  large.image = 256;
+  large.depth = 48;
+
+  return {small, mid, large};
+}
+
+
+/// Global batch sizes used for the Fig. 7/9 strong-scaling study — chosen,
+/// like the paper's, to fill each architecture's per-GCD memory (bigger
+/// models fit fewer samples per GCD).
+[[nodiscard]] inline std::vector<std::size_t> table2_global_batches() {
+  return {4096, 5120, 1024};
+}
+/// Eq. (18): total training FLOPs T = 6 * prod(L_i / P_i) * E * M, i.e.
+/// 6 FLOPs (one forward MAC + two backward MACs) per token per parameter.
+[[nodiscard]] inline double training_flops(const nn::VitConfig& cfg, double epochs,
+                                           double dataset_images) {
+  const double tokens_per_image = static_cast<double>(cfg.tokens());
+  return 6.0 * tokens_per_image * epochs * dataset_images *
+         static_cast<double>(cfg.param_count());
+}
+
+/// Frontier node-hours to spend `flops` at the given model-flops-utilization
+/// of the node's half-precision peak (Fig. 3 uses the same convention).
+[[nodiscard]] inline double frontier_node_hours(double flops, const FrontierSpec& spec = {},
+                                                double mfu = 0.30) {
+  const double node_peak = spec.peak_bf16_tflops * 1e12 * spec.gcds_per_node;
+  return flops / (node_peak * mfu) / 3600.0;
+}
+
+}  // namespace turbda::hpc

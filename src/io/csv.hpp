@@ -1,0 +1,47 @@
+// Minimal CSV writer for experiment outputs (RMSE series, scaling tables).
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::io {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::span<const std::string> header) : out_(path) {
+    TURBDA_REQUIRE(out_.good(), "cannot open CSV file " << path);
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << header[i];
+    }
+    out_ << '\n';
+    cols_ = header.size();
+  }
+
+  CsvWriter(const std::string& path, std::initializer_list<std::string> header)
+      : CsvWriter(path, std::vector<std::string>(header)) {}
+
+  void row(std::span<const double> values) {
+    TURBDA_REQUIRE(values.size() == cols_, "CSV row width mismatch");
+    out_.precision(12);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << values[i];
+    }
+    out_ << '\n';
+  }
+
+  void row(std::initializer_list<double> values) {
+    row(std::span<const double>(values.begin(), values.size()));
+  }
+
+ private:
+  std::ofstream out_;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace turbda::io

@@ -1,0 +1,53 @@
+// NPY (NumPy binary) writer so field snapshots (Fig. 5) can be inspected
+// with standard tooling. Format spec v1.0, little-endian float64, C order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::io {
+
+inline void write_npy(const std::string& path, std::span<const double> data,
+                      std::span<const std::size_t> shape) {
+  std::size_t n = 1;
+  for (auto s : shape) n *= s;
+  TURBDA_REQUIRE(n == data.size(), "write_npy: shape does not match data size");
+
+  std::ostringstream dict;
+  dict << "{'descr': '<f8', 'fortran_order': False, 'shape': (";
+  for (std::size_t i = 0; i < shape.size(); ++i) dict << shape[i] << (shape.size() == 1 ? "," : (i + 1 < shape.size() ? ", " : ""));
+  dict << "), }";
+  std::string header = dict.str();
+  // Pad with spaces so that magic(6)+version(2)+len(2)+header is a multiple
+  // of 64, terminated by '\n'.
+  const std::size_t base = 6 + 2 + 2;
+  std::size_t total = base + header.size() + 1;
+  const std::size_t pad = (64 - total % 64) % 64;
+  header.append(pad, ' ');
+  header.push_back('\n');
+
+  std::ofstream out(path, std::ios::binary);
+  TURBDA_REQUIRE(out.good(), "cannot open NPY file " << path);
+  out.write("\x93NUMPY", 6);
+  const char version[2] = {1, 0};
+  out.write(version, 2);
+  const auto hlen = static_cast<std::uint16_t>(header.size());
+  const char lenb[2] = {static_cast<char>(hlen & 0xFF), static_cast<char>(hlen >> 8)};
+  out.write(lenb, 2);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(double)));
+}
+
+inline void write_npy(const std::string& path, std::span<const double> data,
+                      std::initializer_list<std::size_t> shape) {
+  write_npy(path, data, std::span<const std::size_t>(shape.begin(), shape.size()));
+}
+
+}  // namespace turbda::io

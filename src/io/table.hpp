@@ -1,0 +1,67 @@
+// Aligned console tables: every bench prints the paper's rows/series through
+// this, so outputs read like the original tables/figures.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace turbda::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Formats a double with given precision for a cell.
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    for (std::size_t j = 0; j < header_.size(); ++j) w[j] = header_[j].size();
+    for (const auto& r : rows_)
+      for (std::size_t j = 0; j < r.size() && j < w.size(); ++j)
+        w[j] = std::max(w[j], r[j].size());
+
+    auto line = [&] {
+      os << '+';
+      for (auto wj : w) os << std::string(wj + 2, '-') << '+';
+      os << '\n';
+    };
+    auto prow = [&](const std::vector<std::string>& r) {
+      os << '|';
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        const std::string& c = j < r.size() ? r[j] : std::string{};
+        os << ' ' << std::left << std::setw(static_cast<int>(w[j])) << c << " |";
+      }
+      os << '\n';
+    };
+    line();
+    prow(header_);
+    line();
+    for (const auto& r : rows_) prow(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace turbda::io

@@ -1,0 +1,27 @@
+// Forecast-model interface (Eq. 1 of the paper): X_k = f_{k-1}(X_{k-1}).
+//
+// The DA framework is model-agnostic ("this forecast model could be either
+// physics-based like the SQG, or an AI-based foundation model"); every
+// dynamical core and the ViT surrogate implement this interface so filters
+// and the cycling driver never know which one they are driving.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace turbda::models {
+
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+
+  /// Number of state variables.
+  [[nodiscard]] virtual std::size_t dim() const = 0;
+
+  /// Advance `state` in place over one assimilation window.
+  virtual void forecast(std::span<double> state) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace turbda::models

@@ -1,0 +1,46 @@
+#include "models/lorenz96.hpp"
+
+#include "common/check.hpp"
+
+namespace turbda::models {
+
+Lorenz96::Lorenz96(Lorenz96Config cfg) : cfg_(cfg) {
+  TURBDA_REQUIRE(cfg_.dim >= 4, "Lorenz-96 needs dim >= 4");
+  TURBDA_REQUIRE(cfg_.dt > 0 && cfg_.steps_per_window > 0, "bad Lorenz-96 time stepping");
+  k1_.resize(cfg_.dim);
+  k2_.resize(cfg_.dim);
+  k3_.resize(cfg_.dim);
+  k4_.resize(cfg_.dim);
+  tmp_.resize(cfg_.dim);
+}
+
+void Lorenz96::tendency(std::span<const double> x, std::span<double> dx) const {
+  const std::size_t n = cfg_.dim;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xp1 = x[(i + 1) % n];
+    const double xm1 = x[(i + n - 1) % n];
+    const double xm2 = x[(i + n - 2) % n];
+    dx[i] = (xp1 - xm2) * xm1 - x[i] + cfg_.forcing;
+  }
+}
+
+void Lorenz96::step(std::span<double> x) const {
+  const std::size_t n = cfg_.dim;
+  TURBDA_REQUIRE(x.size() == n, "Lorenz-96 state size mismatch");
+  const double dt = cfg_.dt;
+  tendency(x, k1_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k1_[i];
+  tendency(tmp_, k2_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k2_[i];
+  tendency(tmp_, k3_);
+  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + dt * k3_[i];
+  tendency(tmp_, k4_);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+}
+
+void Lorenz96::forecast(std::span<double> state) {
+  for (int s = 0; s < cfg_.steps_per_window; ++s) step(state);
+}
+
+}  // namespace turbda::models

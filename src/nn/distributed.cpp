@@ -1,0 +1,152 @@
+#include "nn/distributed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace turbda::nn {
+
+DistributedTrainer::DistributedTrainer(std::shared_ptr<ViT> vit, parallel::SimComm& comm,
+                                       DistTrainConfig cfg)
+    : vit_(std::move(vit)), comm_(comm), cfg_(cfg) {
+  params_ = vit_->parameters();
+  for (const Param* p : params_) flat_size_ += p->size();
+  if (cfg_.strategy == DataParallelStrategy::DDP) {
+    full_opt_ = std::make_unique<AdamW>(params_, cfg_.optimizer);
+  } else {
+    // ZeRO2: pad the flat space so every rank owns an equal block.
+    const auto n = static_cast<std::size_t>(comm_.size());
+    const std::size_t padded = (flat_size_ + n - 1) / n * n;
+    m_.assign(padded / n, 0.0);
+    v_.assign(padded / n, 0.0);
+  }
+}
+
+std::pair<std::size_t, std::size_t> DistributedTrainer::my_shard() const {
+  const auto n = static_cast<std::size_t>(comm_.size());
+  const std::size_t padded = (flat_size_ + n - 1) / n * n;
+  const std::size_t blk = padded / n;
+  const std::size_t begin = blk * static_cast<std::size_t>(comm_.rank());
+  return {begin, blk};
+}
+
+void DistributedTrainer::broadcast_parameters() {
+  std::vector<double> flat;
+  gather_flat_params(flat);
+  comm_.broadcast(flat, 0);
+  scatter_flat_params(flat);
+}
+
+void DistributedTrainer::gather_flat_grads(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(flat_size_);
+  for (const Param* p : params_) {
+    const auto g = p->grad.flat();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+}
+
+void DistributedTrainer::scatter_flat_grads(std::span<const double> in) {
+  std::size_t off = 0;
+  for (Param* p : params_) {
+    auto g = p->grad.flat();
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + g.size()), g.begin());
+    off += g.size();
+  }
+}
+
+void DistributedTrainer::gather_flat_params(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(flat_size_);
+  for (const Param* p : params_) {
+    const auto w = p->value.flat();
+    out.insert(out.end(), w.begin(), w.end());
+  }
+}
+
+void DistributedTrainer::scatter_flat_params(std::span<const double> in) {
+  std::size_t off = 0;
+  for (Param* p : params_) {
+    auto w = p->value.flat();
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(off),
+              in.begin() + static_cast<std::ptrdiff_t>(off + w.size()), w.begin());
+    off += w.size();
+  }
+}
+
+std::size_t DistributedTrainer::local_optimizer_elems() const {
+  if (cfg_.strategy == DataParallelStrategy::DDP) return 2 * flat_size_;
+  return m_.size() + v_.size();
+}
+
+double DistributedTrainer::step(const Tensor& x, const Tensor& y) {
+  TURBDA_REQUIRE(x.rank() == 2 && y.rank() == 2 && x.extent(0) == y.extent(0),
+                 "DistributedTrainer::step: paired (B, D) micro-batches required");
+  const auto n = static_cast<double>(comm_.size());
+
+  // Local forward/backward.
+  for (Param* p : params_) p->zero_grad();
+  vit_->set_training(true);
+  const Tensor pred = vit_->forward(x);
+  Tensor grad;
+  const double loss = mse_loss(pred, y, grad);
+  vit_->backward(grad);
+
+  if (cfg_.strategy == DataParallelStrategy::DDP) {
+    // Average gradients across replicas: one all-reduce of P elements.
+    std::vector<double> flat;
+    gather_flat_grads(flat);
+    comm_.allreduce_sum(flat);
+    for (double& g : flat) g /= n;
+    scatter_flat_grads(flat);
+    if (cfg_.clip_norm > 0.0) clip_grad_norm(params_, cfg_.clip_norm);
+    full_opt_->step();
+    ++t_;
+    return loss;
+  }
+
+  // ZeRO2: reduce-scatter gradients; each rank updates its parameter shard
+  // with its optimizer shard; all-gather the updated parameters.
+  const auto world = static_cast<std::size_t>(comm_.size());
+  const std::size_t padded = (flat_size_ + world - 1) / world * world;
+  std::vector<double> flat(padded, 0.0);
+  {
+    std::vector<double> g;
+    gather_flat_grads(g);
+    std::copy(g.begin(), g.end(), flat.begin());
+  }
+  const auto [begin, blk] = my_shard();
+  std::vector<double> my_grad(blk);
+  comm_.reduce_scatter_sum(flat, my_grad);
+  for (double& g : my_grad) g /= n;
+
+  // AdamW on the owned shard only.
+  std::vector<double> params_flat;
+  gather_flat_params(params_flat);
+  params_flat.resize(padded, 0.0);
+  ++t_;
+  const auto& oc = cfg_.optimizer;
+  const double bc1 = 1.0 - std::pow(oc.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(oc.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < blk; ++i) {
+    const std::size_t gi = begin + i;
+    if (gi >= flat_size_) break;  // padding tail
+    m_[i] = oc.beta1 * m_[i] + (1.0 - oc.beta1) * my_grad[i];
+    v_[i] = oc.beta2 * v_[i] + (1.0 - oc.beta2) * my_grad[i] * my_grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params_flat[gi] -=
+        oc.lr * (mhat / (std::sqrt(vhat) + oc.eps) + oc.weight_decay * params_flat[gi]);
+  }
+
+  // All-gather the updated shards into the full parameter vector.
+  std::vector<double> gathered(padded);
+  comm_.allgather(std::span<const double>(params_flat).subspan(begin, blk), gathered);
+  gathered.resize(flat_size_);
+  scatter_flat_params(gathered);
+  return loss;
+}
+
+}  // namespace turbda::nn

@@ -1,0 +1,213 @@
+#include "parallel/sim_comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace turbda::parallel {
+
+void SimComm::send(std::span<const double> data, int dst, int tag) {
+  TURBDA_REQUIRE(dst >= 0 && dst < size(), "send: bad destination rank " << dst);
+  auto& mb = *world_->mailboxes[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lk(mb.mu);
+    mb.messages.push_back(
+        detail::Message{rank_, tag, std::vector<double>(data.begin(), data.end())});
+  }
+  world_->stats.record(data.size_bytes());
+  mb.cv.notify_all();
+}
+
+void SimComm::recv(std::span<double> data, int src, int tag) {
+  TURBDA_REQUIRE(src >= 0 && src < size(), "recv: bad source rank " << src);
+  auto& mb = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(mb.mu);
+  for (;;) {
+    auto it = std::find_if(mb.messages.begin(), mb.messages.end(), [&](const detail::Message& m) {
+      return m.src == src && m.tag == tag;
+    });
+    if (it != mb.messages.end()) {
+      TURBDA_REQUIRE(it->data.size() == data.size(),
+                     "recv: size mismatch (got " << it->data.size() << ", want " << data.size()
+                                                 << ")");
+      std::copy(it->data.begin(), it->data.end(), data.begin());
+      mb.messages.erase(it);
+      return;
+    }
+    mb.cv.wait(lk);
+  }
+}
+
+void SimComm::barrier() {
+  auto* w = world_;
+  std::unique_lock lk(w->barrier_mu);
+  const bool my_sense = !w->barrier_sense;
+  if (++w->barrier_count == w->size) {
+    w->barrier_count = 0;
+    w->barrier_sense = my_sense;
+    w->barrier_cv.notify_all();
+  } else {
+    w->barrier_cv.wait(lk, [w, my_sense] { return w->barrier_sense == my_sense; });
+  }
+}
+
+void SimComm::broadcast(std::span<double> data, int root) {
+  // Binomial tree rooted at `root`: relative rank r receives from
+  // r - lowest_set_bit, then forwards to r + 2^k for growing k.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if (rel & mask) {
+      const int src = ((rel - mask) + root) % n;
+      recv(data, src, /*tag=*/-1);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < n && (rel & (mask - 1)) == 0 && !(rel & mask)) {
+      const int dst = ((rel + mask) + root) % n;
+      send(data, dst, /*tag=*/-1);
+    }
+    mask >>= 1;
+  }
+}
+
+void SimComm::reduce_sum(std::span<double> data, int root) {
+  // Binomial tree: children send partial sums toward the root.
+  const int n = size();
+  const int rel = (rank_ - root + n) % n;
+  std::vector<double> buf(data.size());
+  int mask = 1;
+  while (mask < n) {
+    if ((rel & mask) == 0) {
+      if (rel + mask < n) {
+        const int src = ((rel + mask) + root) % n;
+        recv(buf, src, /*tag=*/-2);
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] += buf[i];
+      }
+    } else {
+      const int dst = ((rel - mask) + root) % n;
+      send(data, dst, /*tag=*/-2);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+namespace {
+/// Block [begin,end) of a buffer split into `n` near-equal chunks.
+std::pair<std::size_t, std::size_t> block_range(std::size_t total, int n, int idx) {
+  const std::size_t base = total / static_cast<std::size_t>(n);
+  const std::size_t rem = total % static_cast<std::size_t>(n);
+  const auto u = static_cast<std::size_t>(idx);
+  const std::size_t begin = u * base + std::min<std::size_t>(u, rem);
+  const std::size_t len = base + (u < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+}  // namespace
+
+void SimComm::allreduce_sum(std::span<double> data) {
+  const int n = size();
+  if (n == 1) return;
+  // Ring reduce-scatter.
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  std::vector<double> buf;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank_ - step + n) % n;
+    const int recv_idx = (rank_ - step - 1 + n) % n;
+    const auto [sb, se] = block_range(data.size(), n, send_idx);
+    const auto [rb, re] = block_range(data.size(), n, recv_idx);
+    buf.resize(re - rb);
+    send(data.subspan(sb, se - sb), right, /*tag=*/-3 - step);
+    recv(buf, left, /*tag=*/-3 - step);
+    for (std::size_t i = 0; i < buf.size(); ++i) data[rb + i] += buf[i];
+  }
+  // Ring all-gather of the reduced blocks.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank_ + 1 - step + n) % n;
+    const int recv_idx = (rank_ - step + n) % n;
+    const auto [sb, se] = block_range(data.size(), n, send_idx);
+    const auto [rb, re] = block_range(data.size(), n, recv_idx);
+    buf.resize(re - rb);
+    send(data.subspan(sb, se - sb), right, /*tag=*/-100 - step);
+    recv(buf, left, /*tag=*/-100 - step);
+    std::copy(buf.begin(), buf.end(), data.begin() + static_cast<std::ptrdiff_t>(rb));
+  }
+}
+
+void SimComm::allgather(std::span<const double> mine, std::span<double> all) {
+  const int n = size();
+  TURBDA_REQUIRE(all.size() == mine.size() * static_cast<std::size_t>(n),
+                 "allgather: output must hold size() blocks");
+  const std::size_t blk = mine.size();
+  std::copy(mine.begin(), mine.end(),
+            all.begin() + static_cast<std::ptrdiff_t>(blk * static_cast<std::size_t>(rank_)));
+  if (n == 1) return;
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank_ - step + n) % n;
+    const int recv_idx = (rank_ - step - 1 + n) % n;
+    send(all.subspan(blk * static_cast<std::size_t>(send_idx), blk), right, /*tag=*/-200 - step);
+    recv(all.subspan(blk * static_cast<std::size_t>(recv_idx), blk), left, /*tag=*/-200 - step);
+  }
+}
+
+void SimComm::reduce_scatter_sum(std::span<const double> full, std::span<double> mine) {
+  const int n = size();
+  TURBDA_REQUIRE(full.size() == mine.size() * static_cast<std::size_t>(n),
+                 "reduce_scatter: input must hold size() blocks");
+  const std::size_t blk = mine.size();
+  if (n == 1) {
+    std::copy(full.begin(), full.end(), mine.begin());
+    return;
+  }
+  const int right = (rank_ + 1) % n;
+  const int left = (rank_ - 1 + n) % n;
+  // Work on a local copy so `full` stays const (ring mutates partial sums).
+  // Indices are shifted by -1 relative to the all-reduce ring so that the
+  // fully reduced block lands on block `rank` (MPI reduce-scatter semantics).
+  std::vector<double> work(full.begin(), full.end());
+  std::vector<double> buf(blk);
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_idx = (rank_ - step - 1 + 2 * n) % n;
+    const int recv_idx = (rank_ - step - 2 + 2 * n) % n;
+    send(std::span<const double>(work).subspan(blk * static_cast<std::size_t>(send_idx), blk),
+         right, /*tag=*/-300 - step);
+    recv(buf, left, /*tag=*/-300 - step);
+    double* dst = work.data() + blk * static_cast<std::size_t>(recv_idx);
+    for (std::size_t i = 0; i < blk; ++i) dst[i] += buf[i];
+  }
+  const std::size_t mb = blk * static_cast<std::size_t>(rank_);
+  std::copy(work.begin() + static_cast<std::ptrdiff_t>(mb),
+            work.begin() + static_cast<std::ptrdiff_t>(mb + blk), mine.begin());
+}
+
+CommStats run_world(int world_size, const std::function<void(SimComm&)>& fn) {
+  TURBDA_REQUIRE(world_size >= 1, "world_size must be >= 1");
+  detail::WorldState world(world_size);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_size));
+  threads.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      SimComm comm(r, &world);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return {world.stats.bytes_sent.load(), world.stats.messages_sent.load()};
+}
+
+}  // namespace turbda::parallel

@@ -1,0 +1,77 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace turbda::parallel {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  auto fut = pt.get_future();
+  {
+    std::lock_guard lk(mu_);
+    TURBDA_REQUIRE(!stop_, "submit on stopped pool");
+    queue_.push_back(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t min_grain) {
+  if (n == 0) return;
+  const std::size_t nw = size();
+  if (nw <= 1 || n <= min_grain) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(nw, (n + min_grain - 1) / min_grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t b = c * chunk;
+    const std::size_t e = std::min(n, b + chunk);
+    if (b >= e) break;
+    futs.push_back(submit([&fn, b, e] { fn(b, e); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace turbda::parallel

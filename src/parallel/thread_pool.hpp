@@ -1,0 +1,59 @@
+// Fixed-size thread pool with task futures and a static-partition
+// parallel_for, in the spirit of OpenMP worksharing loops (CP.4: think in
+// terms of tasks, not threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates `n_threads` workers; n_threads==0 means "use all hardware
+  /// threads".
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(begin, end) over [0, n) split into ~size() contiguous chunks and
+  /// wait for completion. Executes inline when n is small or the pool has a
+  /// single worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t min_grain = 1);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (sized to hardware concurrency).
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t min_grain = 1) {
+  global_pool().parallel_for(n, fn, min_grain);
+}
+
+}  // namespace turbda::parallel

@@ -1,0 +1,48 @@
+// Philox4x32-10 counter-based pseudo-random number generator.
+//
+// Counter-based RNGs give every (seed, stream, counter) triple an independent
+// reproducible value, which makes ensemble members, ranks and pseudo-time
+// steps bit-reproducible regardless of execution order — the property the
+// paper's ensemble-parallel EnSF relies on (§III-A3).
+//
+// Reference: Salmon et al., "Parallel random numbers: as easy as 1, 2, 3",
+// SC'11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace turbda::rng {
+
+/// Raw Philox4x32-10 block function: maps a 128-bit counter and 64-bit key
+/// to 128 bits of output.
+struct Philox4x32 {
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3)-1
+
+  [[nodiscard]] static constexpr Counter round(Counter c, Key k) {
+    const std::uint64_t p0 = static_cast<std::uint64_t>(kMul0) * c[0];
+    const std::uint64_t p1 = static_cast<std::uint64_t>(kMul1) * c[2];
+    const auto hi0 = static_cast<std::uint32_t>(p0 >> 32);
+    const auto lo0 = static_cast<std::uint32_t>(p0);
+    const auto hi1 = static_cast<std::uint32_t>(p1 >> 32);
+    const auto lo1 = static_cast<std::uint32_t>(p1);
+    return Counter{hi1 ^ c[1] ^ k[0], lo1, hi0 ^ c[3] ^ k[1], lo0};
+  }
+
+  [[nodiscard]] static constexpr Counter apply(Counter c, Key k) {
+    for (int r = 0; r < 10; ++r) {
+      c = round(c, k);
+      k[0] += kWeyl0;
+      k[1] += kWeyl1;
+    }
+    return c;
+  }
+};
+
+}  // namespace turbda::rng

@@ -1,0 +1,120 @@
+// User-facing RNG built on Philox4x32-10: uniform, Gaussian, integer and
+// Bernoulli draws plus derived independent sub-streams.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "common/math_utils.hpp"
+#include "rng/philox.hpp"
+
+namespace turbda::rng {
+
+/// Counter-based random stream. Copyable; each copy continues independently
+/// from its current counter. `substream(i)` derives a statistically
+/// independent stream (distinct key), used to give every ensemble member /
+/// rank / filter cycle its own reproducible randomness.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0)
+      : key_{static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32)},
+        ctr_{0, 0, static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)} {}
+
+  /// Derive an independent stream; (seed, stream) pairs never collide across
+  /// distinct `i` for a fixed parent.
+  [[nodiscard]] Rng substream(std::uint64_t i) const {
+    // Mix the substream index into the key with splitmix64-style avalanche.
+    std::uint64_t z = (static_cast<std::uint64_t>(key_[1]) << 32 | key_[0]) + 0x9E3779B97F4A7C15ull * (i + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    Rng r(z, (static_cast<std::uint64_t>(ctr_[3]) << 32) | ctr_[2]);
+    return r;
+  }
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32() {
+    if (buf_pos_ == 4) refill();
+    return buf_[buf_pos_++];
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t lo = next_u32();
+    const std::uint64_t hi = next_u32();
+    return (hi << 32) | lo;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double gaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    // Avoid log(0): map to (0,1].
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    cached_ = r * std::sin(kTwoPi * u2);
+    have_cached_ = true;
+    return r * std::cos(kTwoPi * u2);
+  }
+
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Fill a span with iid standard normals.
+  void fill_gaussian(std::span<double> out, double mean = 0.0, double stddev = 1.0) {
+    for (double& x : out) x = gaussian(mean, stddev);
+  }
+
+  void fill_uniform(std::span<double> out, double lo = 0.0, double hi = 1.0) {
+    for (double& x : out) x = uniform(lo, hi);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free-enough method with rejection
+    // to remove modulo bias.
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of index span.
+  template <typename T>
+  void shuffle(std::span<T> v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  void refill() {
+    buf_ = Philox4x32::apply(ctr_, key_);
+    buf_pos_ = 0;
+    // 64-bit increment over ctr_[0..1]; ctr_[2..3] is the stream id.
+    if (++ctr_[0] == 0) ++ctr_[1];
+  }
+
+  Philox4x32::Key key_;
+  Philox4x32::Counter ctr_;
+  Philox4x32::Counter buf_{};
+  int buf_pos_ = 4;
+  double cached_ = 0.0;
+  bool have_cached_ = false;
+};
+
+}  // namespace turbda::rng

@@ -1,0 +1,306 @@
+#include "sqg/sqg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math_utils.hpp"
+
+namespace turbda::sqg {
+
+SqgModel::SqgModel(SqgConfig cfg) : cfg_(cfg), nn_(cfg.n * cfg.n), fft_(cfg.n, cfg.n) {
+  TURBDA_REQUIRE(is_pow2(cfg_.n), "SQG grid size must be a power of two");
+  TURBDA_REQUIRE(cfg_.diff_order > 0 && cfg_.diff_order % 2 == 0, "diff_order must be even");
+  TURBDA_REQUIRE(cfg_.dt > 0 && cfg_.L > 0 && cfg_.H > 0 && cfg_.f > 0 && cfg_.nsq > 0,
+                 "bad SQG configuration");
+
+  const std::size_t n = cfg_.n;
+  kx_.resize(nn_);
+  ky_.resize(nn_);
+  ksq_.resize(nn_);
+  inv_kappa_.resize(nn_);
+  inv_sinh_.resize(nn_);
+  inv_tanh_.resize(nn_);
+  hyperdiff_.resize(nn_);
+  dealias_.resize(nn_);
+
+  const double bigN = std::sqrt(cfg_.nsq);
+  const auto ni = static_cast<long>(n);
+  const long kcut = ni / 3;  // 2/3 dealiasing rule
+  double kmax_retained = 0.0;
+
+  for (long jy = 0; jy < ni; ++jy) {
+    const long my = (jy <= ni / 2) ? jy : jy - ni;
+    for (long jx = 0; jx < ni; ++jx) {
+      const long mx = (jx <= ni / 2) ? jx : jx - ni;
+      const std::size_t p = static_cast<std::size_t>(jy) * n + static_cast<std::size_t>(jx);
+      kx_[p] = kTwoPi * static_cast<double>(mx) / cfg_.L;
+      ky_[p] = kTwoPi * static_cast<double>(my) / cfg_.L;
+      ksq_[p] = kx_[p] * kx_[p] + ky_[p] * ky_[p];
+      dealias_[p] = (std::labs(mx) <= kcut && std::labs(my) <= kcut) ? 1 : 0;
+      if (dealias_[p]) kmax_retained = std::max(kmax_retained, std::sqrt(ksq_[p]));
+
+      if (ksq_[p] > 0.0) {
+        const double bigK = std::sqrt(ksq_[p]);
+        const double kappa = bigN * bigK / cfg_.f;
+        const double mu = kappa * cfg_.H;
+        inv_kappa_[p] = 1.0 / kappa;
+        // 1/sinh underflows gracefully for large mu; tanh -> 1.
+        inv_sinh_[p] = (mu > 300.0) ? 0.0 : 1.0 / std::sinh(mu);
+        inv_tanh_[p] = 1.0 / std::tanh(mu);
+      } else {
+        inv_kappa_[p] = 0.0;
+        inv_sinh_[p] = 0.0;
+        inv_tanh_[p] = 0.0;
+      }
+    }
+  }
+
+  // Implicit hyperdiffusion: decay(K) = exp(-dt/efold * (K/Kmax)^order),
+  // where Kmax is the largest retained (dealiased) wavenumber.
+  for (std::size_t p = 0; p < nn_; ++p) {
+    const double kn = (kmax_retained > 0.0) ? std::sqrt(ksq_[p]) / kmax_retained : 0.0;
+    const double rate = std::pow(kn, cfg_.diff_order) / cfg_.diff_efold;
+    hyperdiff_[p] = std::exp(-cfg_.dt * rate);
+  }
+
+  lambda_ = cfg_.U / cfg_.H;
+  if (cfg_.symmetric_shear) {
+    ubar_[0] = -0.5 * cfg_.U;
+    ubar_[1] = +0.5 * cfg_.U;
+  } else {
+    ubar_[0] = 0.0;
+    ubar_[1] = cfg_.U;
+  }
+
+  psi_.resize(2 * nn_);
+  work_.resize(nn_);
+  jac_.resize(nn_);
+  gu_.resize(nn_);
+  gv_.resize(nn_);
+  gtx_.resize(nn_);
+  gty_.resize(nn_);
+  gj_.resize(nn_);
+  k1_.resize(2 * nn_);
+  k2_.resize(2 * nn_);
+  k3_.resize(2 * nn_);
+  k4_.resize(2 * nn_);
+  stage_.resize(2 * nn_);
+  spec_.resize(2 * nn_);
+}
+
+void SqgModel::to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const {
+  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == dim(),
+                 "to_spectral: wrong buffer sizes");
+  for (int l = 0; l < 2; ++l) {
+    fft_.forward_real(theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_),
+                      theta_spec.subspan(static_cast<std::size_t>(l) * nn_, nn_));
+  }
+  // Keep state on the dealiased set (truncated dynamics).
+  for (int l = 0; l < 2; ++l) {
+    Cplx* s = theta_spec.data() + static_cast<std::size_t>(l) * nn_;
+    for (std::size_t p = 0; p < nn_; ++p)
+      if (!dealias_[p]) s[p] = Cplx(0.0, 0.0);
+  }
+}
+
+void SqgModel::to_grid(std::span<const Cplx> theta_spec, std::span<double> theta_grid) const {
+  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == dim(),
+                 "to_grid: wrong buffer sizes");
+  for (int l = 0; l < 2; ++l) {
+    fft_.inverse_real(theta_spec.subspan(static_cast<std::size_t>(l) * nn_, nn_),
+                      theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_));
+  }
+}
+
+void SqgModel::invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec) const {
+  TURBDA_REQUIRE(theta_spec.size() == 2 * nn_ && psi_spec.size() == 2 * nn_,
+                 "invert: wrong buffer sizes");
+  const Cplx* t0 = theta_spec.data();
+  const Cplx* t1 = theta_spec.data() + nn_;
+  Cplx* p0 = psi_spec.data();
+  Cplx* p1 = psi_spec.data() + nn_;
+  for (std::size_t p = 0; p < nn_; ++p) {
+    p0[p] = inv_kappa_[p] * (t1[p] * inv_sinh_[p] - t0[p] * inv_tanh_[p]);
+    p1[p] = inv_kappa_[p] * (t1[p] * inv_tanh_[p] - t0[p] * inv_sinh_[p]);
+  }
+}
+
+void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out) const {
+  invert(theta_spec, psi_);
+  const double inv_tdiab = (cfg_.t_diab > 0.0) ? 1.0 / cfg_.t_diab : 0.0;
+
+  for (std::size_t l = 0; l < 2; ++l) {
+    const Cplx* th = theta_spec.data() + l * nn_;
+    const Cplx* ps = psi_.data() + l * nn_;
+    Cplx* dth = out.data() + l * nn_;
+    const Cplx iu(0.0, 1.0);
+
+    // Grid-space velocities and theta gradients: u = -psi_y, v = psi_x.
+    // Two Hermitian spectra share one inverse transform: ifft(U + iV) has
+    // the real inverse of U in its real part and of V in its imaginary part.
+    //   u + i v: uhat + i*vhat = -psi_hat * (kx + i ky)
+    //   tx + i ty: txhat + i*tyhat = theta_hat * (-ky + i kx)
+    for (std::size_t p = 0; p < nn_; ++p) work_[p] = -ps[p] * Cplx(kx_[p], ky_[p]);
+    fft_.inverse(work_);
+    for (std::size_t p = 0; p < nn_; ++p) {
+      gu_[p] = work_[p].real();
+      gv_[p] = work_[p].imag();
+    }
+    for (std::size_t p = 0; p < nn_; ++p) work_[p] = th[p] * Cplx(-ky_[p], kx_[p]);
+    fft_.inverse(work_);
+    for (std::size_t p = 0; p < nn_; ++p) {
+      gtx_[p] = work_[p].real();
+      gty_[p] = work_[p].imag();
+    }
+
+    // Nonlinear advection J(psi, theta) = u theta_x + v theta_y.
+    for (std::size_t p = 0; p < nn_; ++p) gj_[p] = gu_[p] * gtx_[p] + gv_[p] * gty_[p];
+    fft_.forward_real(gj_, jac_);
+
+    const double ub = ubar_[l];
+    for (std::size_t p = 0; p < nn_; ++p) {
+      Cplx t = dealias_[p] ? -jac_[p] : Cplx(0.0, 0.0);  // -J, dealiased
+      t -= iu * kx_[p] * ub * th[p];                     // mean-flow advection
+      t += lambda_ * iu * kx_[p] * ps[p];                // -v * d(thetabar)/dy
+      t -= inv_tdiab * th[p];                            // thermal relaxation
+      if (l == 0 && cfg_.r_ekman != 0.0) t += cfg_.r_ekman * ksq_[p] * ps[p];  // Ekman pumping
+      dth[p] = t;
+    }
+  }
+}
+
+void SqgModel::apply_hyperdiffusion(std::span<Cplx> theta_spec) const {
+  for (std::size_t l = 0; l < 2; ++l) {
+    Cplx* s = theta_spec.data() + l * nn_;
+    for (std::size_t p = 0; p < nn_; ++p) s[p] *= hyperdiff_[p];
+  }
+}
+
+void SqgModel::step(std::span<double> theta_grid, int nsteps) const {
+  to_spectral(theta_grid, spec_);
+  const double dt = cfg_.dt;
+  const std::size_t m = 2 * nn_;
+  for (int s = 0; s < nsteps; ++s) {
+    tendency(spec_, k1_);
+    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + 0.5 * dt * k1_[i];
+    tendency(stage_, k2_);
+    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + 0.5 * dt * k2_[i];
+    tendency(stage_, k3_);
+    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + dt * k3_[i];
+    tendency(stage_, k4_);
+    for (std::size_t i = 0; i < m; ++i)
+      spec_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    apply_hyperdiffusion(spec_);
+  }
+  to_grid(spec_, theta_grid);
+}
+
+void SqgModel::advance(std::span<double> theta_grid, double seconds) const {
+  const int nsteps = static_cast<int>(std::ceil(seconds / cfg_.dt - 1e-9));
+  if (nsteps > 0) step(theta_grid, nsteps);
+}
+
+void SqgModel::random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude,
+                           int k_peak) const {
+  TURBDA_REQUIRE(theta_grid.size() == dim(), "random_init: wrong state size");
+  // White noise -> spectral ring filter |m| <= k_peak -> rescale. Doing the
+  // filtering via a real grid round-trip keeps the field exactly real.
+  std::vector<double> noise(nn_);
+  std::vector<Cplx> spec(nn_);
+  const auto ni = static_cast<long>(cfg_.n);
+  for (int l = 0; l < 2; ++l) {
+    rng.fill_gaussian(noise);
+    fft_.forward_real(noise, spec);
+    for (long jy = 0; jy < ni; ++jy) {
+      const long my = (jy <= ni / 2) ? jy : jy - ni;
+      for (long jx = 0; jx < ni; ++jx) {
+        const long mx = (jx <= ni / 2) ? jx : jx - ni;
+        const std::size_t p = static_cast<std::size_t>(jy * ni + jx);
+        const double mm = std::sqrt(static_cast<double>(mx * mx + my * my));
+        if (mm > k_peak || mm == 0.0) spec[p] = Cplx(0.0, 0.0);
+      }
+    }
+    auto level = theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_);
+    fft_.inverse_real(spec, level);
+    const double r = rms(level);
+    if (r > 0.0) {
+      const double scale = rms_amplitude / r;
+      for (double& x : level) x *= scale;
+    }
+  }
+}
+
+std::vector<double> SqgModel::ke_spectrum(std::span<const double> theta_grid, int level) const {
+  TURBDA_REQUIRE(level == 0 || level == 1, "level must be 0 or 1");
+  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_);
+  to_spectral(theta_grid, spec);
+  invert(spec, psi);
+  const Cplx* ps = psi.data() + static_cast<std::size_t>(level) * nn_;
+
+  const auto ni = static_cast<long>(cfg_.n);
+  std::vector<double> bins(cfg_.n / 2 + 1, 0.0);
+  const double norm = 1.0 / (static_cast<double>(nn_) * static_cast<double>(nn_));
+  for (long jy = 0; jy < ni; ++jy) {
+    const long my = (jy <= ni / 2) ? jy : jy - ni;
+    for (long jx = 0; jx < ni; ++jx) {
+      const long mx = (jx <= ni / 2) ? jx : jx - ni;
+      const std::size_t p = static_cast<std::size_t>(jy * ni + jx);
+      const auto bin =
+          static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(mx * mx + my * my))));
+      if (bin >= bins.size()) continue;
+      bins[bin] += 0.5 * ksq_[p] * std::norm(ps[p]) * norm;
+    }
+  }
+  return bins;
+}
+
+double SqgModel::total_ke(std::span<const double> theta_grid) const {
+  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_);
+  to_spectral(theta_grid, spec);
+  invert(spec, psi);
+  double e = 0.0;
+  const double norm = 1.0 / (static_cast<double>(nn_) * static_cast<double>(nn_));
+  for (std::size_t l = 0; l < 2; ++l)
+    for (std::size_t p = 0; p < nn_; ++p) e += 0.5 * ksq_[p] * std::norm(psi[l * nn_ + p]) * norm;
+  return e;
+}
+
+double SqgModel::cfl(std::span<const double> theta_grid) const {
+  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_), w(nn_);
+  std::vector<double> g(nn_);
+  to_spectral(theta_grid, spec);
+  invert(spec, psi);
+  double umax = 0.0;
+  const Cplx iu(0.0, 1.0);
+  for (std::size_t l = 0; l < 2; ++l) {
+    const Cplx* ps = psi.data() + l * nn_;
+    for (std::size_t p = 0; p < nn_; ++p) w[p] = -iu * ky_[p] * ps[p];
+    fft_.inverse_real(w, g);
+    for (double x : g) umax = std::max(umax, std::abs(x + ubar_[l]));
+    for (std::size_t p = 0; p < nn_; ++p) w[p] = iu * kx_[p] * ps[p];
+    fft_.inverse_real(w, g);
+    for (double x : g) umax = std::max(umax, std::abs(x));
+  }
+  const double dx = cfg_.L / static_cast<double>(cfg_.n);
+  return umax * cfg_.dt / dx;
+}
+
+double SqgModel::eady_growth_rate(int m) const {
+  TURBDA_REQUIRE(m >= 1, "wavenumber index must be >= 1");
+  const double k = kTwoPi * static_cast<double>(m) / cfg_.L;
+  const double kappa = std::sqrt(cfg_.nsq) * k / cfg_.f;
+  const double mu = kappa * cfg_.H;
+  const double lam_over_kappa = lambda_ / kappa;  // = U/mu
+  const double a00 = -ubar_[0] - lam_over_kappa / std::tanh(mu);
+  const double a01 = +lam_over_kappa / std::sinh(mu);
+  const double a10 = -lam_over_kappa / std::sinh(mu);
+  const double a11 = -ubar_[1] + lam_over_kappa / std::tanh(mu);
+  // theta' ~ exp(i k a t) with a an eigenvalue of A; growth = -k Im(a).
+  const double half_tr = 0.5 * (a00 + a11);
+  const double det = a00 * a11 - a01 * a10;
+  const double disc = half_tr * half_tr - det;
+  return (disc < 0.0) ? k * std::sqrt(-disc) : 0.0;
+}
+
+}  // namespace turbda::sqg

@@ -1,0 +1,135 @@
+// Surface quasi-geostrophic (SQG) turbulence model — the paper's testbed.
+//
+// Two-surface nonlinear Eady model on an f-plane with uniform stratification
+// N^2 and uniform vertical shear U/H (paper §II-B; follows Tulloch & Smith
+// 2009 and the jswhit/sqgturb reference implementation):
+//
+//   state: theta = dpsi/dz (buoyancy / f) at the two boundaries z = 0, H,
+//   advected by the boundary geostrophic flow; interior QG PV = 0.
+//
+// Spectral space: for total wavenumber K, kappa = N K / f, mu = kappa H:
+//   psi0 = (1/kappa) (theta1 / sinh(mu) - theta0 / tanh(mu))
+//   psi1 = (1/kappa) (theta1 / tanh(mu) - theta0 / sinh(mu))
+//
+// Boundary tendency (perturbations around the uniform-shear basic state
+// Ubar(z), d(thetabar)/dy = -Lambda, Lambda = U/H):
+//
+//   d theta/dt = -J(psi, theta) - Ubar theta_x + Lambda v
+//                [- r lap(psi) at z=0]  [- theta / t_diab]  [hyperdiffusion]
+//
+// Numerics: FFT spectral discretization, grid-space Jacobian with 2/3-rule
+// dealiasing, RK4, and implicit (integrating-factor) del^8 hyperdiffusion
+// applied once per step — exactly the scheme the paper describes.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "models/forecast_model.hpp"
+#include "rng/rng.hpp"
+
+namespace turbda::sqg {
+
+using fft::Cplx;
+
+struct SqgConfig {
+  std::size_t n = 64;            ///< grid points per side (power of two)
+  double L = 20.0e6;             ///< domain size [m] (20,000 km)
+  double H = 10.0e3;             ///< layer depth [m]
+  double f = 1.0e-4;             ///< Coriolis parameter [1/s]
+  double nsq = 1.0e-4;           ///< buoyancy frequency squared [1/s^2]
+  double U = 30.0;               ///< velocity difference across the layer [m/s]
+  bool symmetric_shear = true;   ///< Ubar = -U/2 / +U/2 instead of 0 / U
+  double r_ekman = 0.0;          ///< Ekman pumping coefficient [m/s], z=0 only
+  double t_diab = 10.0 * 86400;  ///< thermal relaxation timescale [s]
+  int diff_order = 8;            ///< hyperdiffusion order (del^8)
+  double diff_efold = 86400.0 / 3.0;  ///< e-folding of the highest mode [s]
+  double dt = 900.0;             ///< RK4 step [s]
+};
+
+/// The SQG solver. State layout for the DA stack: grid-space theta, level 0
+/// (z=0) then level 1 (z=H), row-major n x n each — i.e. the paper's
+/// "64x64x2 mesh", dim = 2 n^2.
+class SqgModel {
+ public:
+  explicit SqgModel(SqgConfig cfg);
+
+  [[nodiscard]] const SqgConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t n() const { return cfg_.n; }
+  [[nodiscard]] std::size_t dim() const { return 2 * cfg_.n * cfg_.n; }
+
+  /// Advance grid-space state by `nsteps` RK4 steps of length cfg.dt.
+  void step(std::span<double> theta_grid, int nsteps = 1) const;
+
+  /// Advance by (approximately) `seconds`, using ceil(seconds/dt) steps.
+  void advance(std::span<double> theta_grid, double seconds) const;
+
+  /// Random large-scale initial condition: iid spectral amplitudes confined
+  /// to |k| <= k_peak with the given grid-space RMS amplitude.
+  void random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude,
+                   int k_peak = 4) const;
+
+  /// Isotropic kinetic-energy spectrum E(K) at a boundary level (0 or 1),
+  /// binned by integer total wavenumber index; E = 0.5 K^2 |psi|^2.
+  [[nodiscard]] std::vector<double> ke_spectrum(std::span<const double> theta_grid,
+                                                int level) const;
+
+  /// Total kinetic energy (both levels) per unit area.
+  [[nodiscard]] double total_ke(std::span<const double> theta_grid) const;
+
+  /// Max |u| CFL number for the current state: max(|u|,|v|) * dt / dx.
+  [[nodiscard]] double cfl(std::span<const double> theta_grid) const;
+
+  /// Analytic Eady growth rate [1/s] for zonal wavenumber index m (i.e.
+  /// kx = 2*pi*m/L, ky = 0); zero when the wave is neutral. Used to verify
+  /// the discrete dynamics against linear theory.
+  [[nodiscard]] double eady_growth_rate(int m) const;
+
+  // --- spectral-space accessors used by tests -------------------------------
+  void to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const;
+  void to_grid(std::span<const Cplx> theta_spec, std::span<double> theta_grid) const;
+  void invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec) const;
+
+ private:
+  void tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out) const;
+  void apply_hyperdiffusion(std::span<Cplx> theta_spec) const;
+
+  SqgConfig cfg_;
+  std::size_t nn_;               // n*n (one level, spectral/grid size)
+  fft::Fft2D fft_;
+  std::vector<double> kx_, ky_, ksq_;        // per spectral point
+  std::vector<double> inv_kappa_;            // 1/kappa (0 at K=0)
+  std::vector<double> inv_sinh_, inv_tanh_;  // 1/sinh(mu), 1/tanh(mu)
+  std::vector<double> hyperdiff_;            // exp(-dt * rate(K)) per point
+  std::vector<std::uint8_t> dealias_;        // 2/3-rule mask
+  double ubar_[2];                           // basic-state zonal wind per level
+  double lambda_;                            // shear U/H
+
+  // Scratch (tendency is on the hot path of every ensemble member).
+  mutable std::vector<Cplx> psi_, work_, jac_;
+  mutable std::vector<double> gu_, gv_, gtx_, gty_, gj_;
+  mutable std::vector<Cplx> k1_, k2_, k3_, k4_, stage_, spec_;
+};
+
+/// ForecastModel adapter: advances the SQG state over one assimilation
+/// window (`window_seconds`, e.g. 12 h in the paper's OSSE).
+class SqgForecast final : public models::ForecastModel {
+ public:
+  SqgForecast(std::shared_ptr<const SqgModel> model, double window_seconds)
+      : model_(std::move(model)), window_(window_seconds) {}
+
+  [[nodiscard]] std::size_t dim() const override { return model_->dim(); }
+  void forecast(std::span<double> state) override { model_->advance(state, window_); }
+  [[nodiscard]] std::string name() const override { return "sqg"; }
+
+  [[nodiscard]] const SqgModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const SqgModel> model_;
+  double window_;
+};
+
+}  // namespace turbda::sqg

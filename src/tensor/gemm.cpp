@@ -1,0 +1,126 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::tensor {
+
+namespace {
+
+// Cache-blocking tile sizes (doubles): fits comfortably in L1/L2 on
+// contemporary x86 cores while letting the inner loop auto-vectorize.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kNc = 256;
+constexpr std::size_t kKc = 128;
+
+/// Packs op(A) tile [i0,i1) x [k0,k1) into row-major contiguous storage.
+void pack_a(Trans ta, const double* a, std::size_t lda, std::size_t i0, std::size_t i1,
+            std::size_t k0, std::size_t k1, double* out) {
+  const std::size_t kw = k1 - k0;
+  if (ta == Trans::No) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* src = a + i * lda + k0;
+      std::copy(src, src + kw, out + (i - i0) * kw);
+    }
+  } else {
+    // op(A)(i,k) = A(k,i)
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* dst = out + (i - i0) * kw;
+      for (std::size_t k = k0; k < k1; ++k) dst[k - k0] = a[k * lda + i];
+    }
+  }
+}
+
+/// Packs op(B) tile [k0,k1) x [j0,j1) row-major.
+void pack_b(Trans tb, const double* b, std::size_t ldb, std::size_t k0, std::size_t k1,
+            std::size_t j0, std::size_t j1, double* out) {
+  const std::size_t jw = j1 - j0;
+  if (tb == Trans::No) {
+    for (std::size_t k = k0; k < k1; ++k) {
+      const double* src = b + k * ldb + j0;
+      std::copy(src, src + jw, out + (k - k0) * jw);
+    }
+  } else {
+    // op(B)(k,j) = B(j,k)
+    for (std::size_t k = k0; k < k1; ++k) {
+      double* dst = out + (k - k0) * jw;
+      for (std::size_t j = j0; j < j1; ++j) dst[j - j0] = b[j * ldb + k];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
+          const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
+          double* c, std::size_t ldc) {
+  // Scale C by beta first.
+  if (beta == 0.0) {
+    for (std::size_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+  } else if (beta != 1.0) {
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+  }
+  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+
+  std::vector<double> pa(kMc * kKc), pb(kKc * kNc);
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t k1 = std::min(k, k0 + kKc);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+      const std::size_t j1 = std::min(n, j0 + kNc);
+      pack_b(tb, b, ldb, k0, k1, j0, j1, pb.data());
+      const std::size_t jw = j1 - j0;
+      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
+        const std::size_t i1 = std::min(m, i0 + kMc);
+        pack_a(ta, a, lda, i0, i1, k0, k1, pa.data());
+        const std::size_t kw = k1 - k0;
+        // Micro-kernel: rank-kw update of the C tile; innermost loop over j
+        // is contiguous in both pb and c so it auto-vectorizes.
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* arow = pa.data() + (i - i0) * kw;
+          double* crow = c + i * ldc + j0;
+          for (std::size_t kk = 0; kk < kw; ++kk) {
+            const double av = alpha * arow[kk];
+            const double* brow = pb.data() + kk * jw;
+            for (std::size_t j = 0; j < jw; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+Tensor matmul_impl(Trans ta, Trans tb, const Tensor& a, const Tensor& b) {
+  TURBDA_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 tensors");
+  const std::size_t m = (ta == Trans::No) ? a.extent(0) : a.extent(1);
+  const std::size_t ka = (ta == Trans::No) ? a.extent(1) : a.extent(0);
+  const std::size_t kb = (tb == Trans::No) ? b.extent(0) : b.extent(1);
+  const std::size_t n = (tb == Trans::No) ? b.extent(1) : b.extent(0);
+  TURBDA_REQUIRE(ka == kb, "matmul: inner dimensions differ (" << ka << " vs " << kb << ")");
+  Tensor out({m, n});
+  gemm(ta, tb, m, n, ka, 1.0, a.data(), a.extent(1), b.data(), b.extent(1), 0.0, out.data(), n);
+  return out;
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) { return matmul_impl(Trans::No, Trans::No, a, b); }
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  return matmul_impl(Trans::Yes, Trans::No, a, b);
+}
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  return matmul_impl(Trans::No, Trans::Yes, a, b);
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  TURBDA_REQUIRE(a.rank() == 2 && x.rank() == 1, "matvec needs (rank-2, rank-1)");
+  TURBDA_REQUIRE(a.extent(1) == x.extent(0), "matvec: dimension mismatch");
+  Tensor y({a.extent(0)});
+  gemm(Trans::No, Trans::No, a.extent(0), 1, a.extent(1), 1.0, a.data(), a.extent(1), x.data(), 1,
+       0.0, y.data(), 1);
+  return y;
+}
+
+}  // namespace turbda::tensor

@@ -1,0 +1,36 @@
+// Blocked general matrix multiply (double precision).
+//
+// The ViT surrogate's cost is GEMM-dominated ("making matrix-matrix
+// multiplication (GEMM) the most computationally intensive operation",
+// paper §III-B-a), so this kernel carries both training and the measured
+// half of the Fig. 6 kernel-sizing study.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace turbda::tensor {
+
+enum class Trans { No, Yes };
+
+/// C = alpha * op(A) * op(B) + beta * C, row-major.
+/// op(A) is M x K, op(B) is K x N, C is M x N.
+/// lda/ldb/ldc are the leading (row) strides of the *stored* matrices.
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
+          const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
+          double* c, std::size_t ldc);
+
+/// C = A * B for rank-2 tensors (convenience wrapper).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B.
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// y = A * x (rank-2 times rank-1).
+[[nodiscard]] Tensor matvec(const Tensor& a, const Tensor& x);
+
+}  // namespace turbda::tensor

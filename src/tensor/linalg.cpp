@@ -1,0 +1,129 @@
+#include "tensor/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/gemm.hpp"
+
+namespace turbda::tensor {
+
+void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps) {
+  TURBDA_REQUIRE(a.rank() == 2 && a.extent(0) == a.extent(1), "jacobi_eigh: square matrix");
+  const std::size_t n = a.extent(0);
+  Tensor m = a;  // working copy
+  v.reset({n, n});
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (off < 1e-26) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p), aqq = m(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                      : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Rotate rows/cols p and q of m.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort eigenvalues ascending, permuting eigenvector columns.
+  w.resize(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) w[i] = m(i, i);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) { return w[i] < w[j]; });
+  std::vector<double> ws(n);
+  Tensor vs({n, n});
+  for (std::size_t j = 0; j < n; ++j) {
+    ws[j] = w[order[j]];
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = v(i, order[j]);
+  }
+  w = std::move(ws);
+  v = std::move(vs);
+}
+
+Tensor cholesky(const Tensor& a) {
+  TURBDA_REQUIRE(a.rank() == 2 && a.extent(0) == a.extent(1), "cholesky: square matrix");
+  const std::size_t n = a.extent(0);
+  Tensor l({n, n});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        TURBDA_REQUIRE(s > 0.0, "cholesky: matrix not positive definite (pivot " << s << ")");
+        l(i, i) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> spd_solve(const Tensor& a, std::span<const double> b) {
+  const Tensor l = cholesky(a);
+  const std::size_t n = l.extent(0);
+  TURBDA_REQUIRE(b.size() == n, "spd_solve: rhs size mismatch");
+  std::vector<double> y(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Tensor sym_func(const Tensor& a, const std::function<double(double)>& f) {
+  Tensor v;
+  std::vector<double> w;
+  jacobi_eigh(a, v, w);
+  const std::size_t n = a.extent(0);
+  // B = V f(D) V^T
+  Tensor vf({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) vf(i, j) = v(i, j) * f(w[j]);
+  return matmul_nt(vf, v);
+}
+
+double fro_norm(const Tensor& a) {
+  double s = 0.0;
+  for (double x : a.flat()) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace turbda::tensor

@@ -1,0 +1,34 @@
+// Dense linear algebra kernels for small symmetric systems.
+//
+// LETKF's analysis solves an m x m symmetric eigenproblem in ensemble space
+// (m = ensemble size, 20 in the paper), for which cyclic Jacobi is simple,
+// branch-predictable and accurate.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace turbda::tensor {
+
+/// Symmetric eigendecomposition A = V diag(w) V^T by cyclic Jacobi rotations.
+/// `a` must be rank-2 square symmetric; returns eigenvalues ascending in `w`
+/// and orthonormal eigenvectors as *columns* of `v`.
+void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps = 50);
+
+/// Cholesky factorization A = L L^T (lower). Throws turbda::Error if A is not
+/// positive definite.
+[[nodiscard]] Tensor cholesky(const Tensor& a);
+
+/// Solves A x = b with A symmetric positive definite via Cholesky.
+[[nodiscard]] std::vector<double> spd_solve(const Tensor& a, std::span<const double> b);
+
+/// Symmetric matrix function: f applied to eigenvalues, B = V f(diag) V^T.
+[[nodiscard]] Tensor sym_func(const Tensor& a, const std::function<double(double)>& f);
+
+/// Frobenius norm of a tensor.
+[[nodiscard]] double fro_norm(const Tensor& a);
+
+}  // namespace turbda::tensor

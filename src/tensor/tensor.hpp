@@ -1,0 +1,152 @@
+// Dense row-major tensor of doubles, rank 1..4.
+//
+// Value-semantic owning container with cheap spans at API boundaries.
+// All heavy math lives in free functions (gemm.hpp, linalg.hpp) so the type
+// stays small and regular.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace turbda::tensor {
+
+class Tensor {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Tensor() = default;
+
+  explicit Tensor(std::initializer_list<std::size_t> shape) { reset(shape); }
+
+  explicit Tensor(std::span<const std::size_t> shape) { reset(shape); }
+
+  static Tensor zeros(std::initializer_list<std::size_t> shape) { return Tensor(shape); }
+
+  static Tensor full(std::initializer_list<std::size_t> shape, double value) {
+    Tensor t(shape);
+    t.fill(value);
+    return t;
+  }
+
+  void reset(std::initializer_list<std::size_t> shape) {
+    reset(std::span<const std::size_t>(shape.begin(), shape.size()));
+  }
+
+  void reset(std::span<const std::size_t> shape) {
+    TURBDA_REQUIRE(shape.size() >= 1 && shape.size() <= kMaxRank,
+                   "tensor rank must be in [1," << kMaxRank << "]");
+    rank_ = shape.size();
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      TURBDA_REQUIRE(shape[i] > 0, "zero extent in tensor shape");
+      shape_[i] = shape[i];
+      n *= shape[i];
+    }
+    data_.assign(n, 0.0);
+  }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t extent(std::size_t d) const {
+    TURBDA_REQUIRE(d < rank_, "extent: dim out of range");
+    return shape_[d];
+  }
+  [[nodiscard]] std::span<const std::size_t> shape() const {
+    return {shape_.data(), rank_};
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::span<double> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> flat() const { return {data_.data(), data_.size()}; }
+
+  // Element access (row-major).
+  double& operator()(std::size_t i) { return data_[idx1(i)]; }
+  double operator()(std::size_t i) const { return data_[idx1(i)]; }
+  double& operator()(std::size_t i, std::size_t j) { return data_[idx2(i, j)]; }
+  double operator()(std::size_t i, std::size_t j) const { return data_[idx2(i, j)]; }
+  double& operator()(std::size_t i, std::size_t j, std::size_t k) { return data_[idx3(i, j, k)]; }
+  double operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[idx3(i, j, k)];
+  }
+  double& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return data_[idx4(i, j, k, l)];
+  }
+  double operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return data_[idx4(i, j, k, l)];
+  }
+
+  /// Row i of a rank-2 tensor as a span.
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    TURBDA_REQUIRE(rank_ == 2 && i < shape_[0], "row: needs rank-2 and valid index");
+    return {data_.data() + i * shape_[1], shape_[1]};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    TURBDA_REQUIRE(rank_ == 2 && i < shape_[0], "row: needs rank-2 and valid index");
+    return {data_.data() + i * shape_[1], shape_[1]};
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// In-place reshape; total size must be preserved.
+  void reshape(std::initializer_list<std::size_t> shape) {
+    std::size_t n = 1;
+    for (auto s : shape) n *= s;
+    TURBDA_REQUIRE(n == data_.size(), "reshape must preserve size");
+    rank_ = shape.size();
+    std::size_t d = 0;
+    for (auto s : shape) shape_[d++] = s;
+  }
+
+  Tensor& operator+=(const Tensor& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Tensor& operator-=(const Tensor& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Tensor& operator*=(double a) {
+    for (auto& x : data_) x *= a;
+    return *this;
+  }
+
+ private:
+  void require_same_shape(const Tensor& o) const {
+    TURBDA_REQUIRE(rank_ == o.rank_, "shape mismatch (rank)");
+    for (std::size_t i = 0; i < rank_; ++i)
+      TURBDA_REQUIRE(shape_[i] == o.shape_[i], "shape mismatch (extent " << i << ")");
+  }
+  [[nodiscard]] std::size_t idx1(std::size_t i) const {
+    TURBDA_ASSERT(rank_ == 1 && i < shape_[0]);
+    return i;
+  }
+  [[nodiscard]] std::size_t idx2(std::size_t i, std::size_t j) const {
+    TURBDA_ASSERT(rank_ == 2 && i < shape_[0] && j < shape_[1]);
+    return i * shape_[1] + j;
+  }
+  [[nodiscard]] std::size_t idx3(std::size_t i, std::size_t j, std::size_t k) const {
+    TURBDA_ASSERT(rank_ == 3 && i < shape_[0] && j < shape_[1] && k < shape_[2]);
+    return (i * shape_[1] + j) * shape_[2] + k;
+  }
+  [[nodiscard]] std::size_t idx4(std::size_t i, std::size_t j, std::size_t k,
+                                 std::size_t l) const {
+    TURBDA_ASSERT(rank_ == 4 && i < shape_[0] && j < shape_[1] && k < shape_[2] && l < shape_[3]);
+    return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+  }
+
+  std::array<std::size_t, kMaxRank> shape_{};
+  std::size_t rank_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace turbda::tensor

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/distributed.hpp"
+#include "nn/optim.hpp"
+#include "nn/vit.hpp"
+#include "parallel/sim_comm.hpp"
+#include "rng/rng.hpp"
+
+namespace turbda::nn {
+namespace {
+
+using turbda::rng::Rng;
+
+VitConfig tiny_config() {
+  VitConfig cfg;
+  cfg.image = 8;
+  cfg.patch = 4;
+  cfg.channels = 2;
+  cfg.embed_dim = 8;
+  cfg.heads = 2;
+  cfg.depth = 1;
+  cfg.seed = 5;
+  return cfg;
+}
+
+/// Serial reference: train on the full batch with gradients averaged over
+/// all samples, exactly what data parallelism must reproduce.
+std::vector<double> serial_reference(const Tensor& xs, const Tensor& ys, int steps,
+                                     const AdamWConfig& oc) {
+  auto vit = std::make_shared<ViT>(tiny_config());
+  AdamW opt(vit->parameters(), oc);
+  for (int s = 0; s < steps; ++s) {
+    opt.zero_grad();
+    vit->set_training(true);
+    const Tensor pred = vit->forward(xs);
+    Tensor grad;
+    mse_loss(pred, ys, grad);
+    vit->backward(grad);
+    opt.step();
+  }
+  return vit->state_vector();
+}
+
+/// Per-rank batches: contiguous shards of the global batch. The MSE loss
+/// gradient normalizes by batch elements, so a rank's local gradient over
+/// B/n samples equals n * (its share of the global-batch gradient); after
+/// the all-reduce average the result matches serial full-batch training.
+Tensor shard(const Tensor& t, int rank, int world) {
+  const std::size_t rows = t.extent(0) / static_cast<std::size_t>(world);
+  Tensor out({rows, t.extent(1)});
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto src = t.row(static_cast<std::size_t>(rank) * rows + r);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+class DistributedP : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedP, DdpMatchesSerialTraining) {
+  const int world = GetParam();
+  const VitConfig cfg = tiny_config();
+  Rng rng(17);
+  const std::size_t batch = 8;
+  Tensor xs({batch, cfg.state_dim()}), ys({batch, cfg.state_dim()});
+  rng.fill_gaussian(xs.flat());
+  rng.fill_gaussian(ys.flat());
+
+  AdamWConfig oc;
+  oc.lr = 1e-3;
+  const auto want = serial_reference(xs, ys, /*steps=*/4, oc);
+
+  std::vector<double> got;
+  parallel::run_world(world, [&](parallel::SimComm& c) {
+    auto vit = std::make_shared<ViT>(tiny_config());
+    DistTrainConfig dc;
+    dc.strategy = DataParallelStrategy::DDP;
+    dc.optimizer = oc;
+    DistributedTrainer trainer(vit, c, dc);
+    trainer.broadcast_parameters();
+    const Tensor xloc = shard(xs, c.rank(), world);
+    const Tensor yloc = shard(ys, c.rank(), world);
+    for (int s = 0; s < 4; ++s) trainer.step(xloc, yloc);
+    if (c.rank() == 0) got = vit->state_vector();
+  });
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+TEST_P(DistributedP, Zero2MatchesSerialTraining) {
+  const int world = GetParam();
+  const VitConfig cfg = tiny_config();
+  Rng rng(19);
+  const std::size_t batch = 8;
+  Tensor xs({batch, cfg.state_dim()}), ys({batch, cfg.state_dim()});
+  rng.fill_gaussian(xs.flat());
+  rng.fill_gaussian(ys.flat());
+
+  AdamWConfig oc;
+  oc.lr = 1e-3;
+  oc.weight_decay = 0.01;
+  const auto want = serial_reference(xs, ys, /*steps=*/3, oc);
+
+  std::vector<double> got;
+  parallel::run_world(world, [&](parallel::SimComm& c) {
+    auto vit = std::make_shared<ViT>(tiny_config());
+    DistTrainConfig dc;
+    dc.strategy = DataParallelStrategy::ZeRO2;
+    dc.optimizer = oc;
+    DistributedTrainer trainer(vit, c, dc);
+    trainer.broadcast_parameters();
+    const Tensor xloc = shard(xs, c.rank(), world);
+    const Tensor yloc = shard(ys, c.rank(), world);
+    for (int s = 0; s < 3; ++s) trainer.step(xloc, yloc);
+    if (c.rank() == 0) got = vit->state_vector();
+  });
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, DistributedP, ::testing::Values(1, 2, 4));
+
+TEST(Distributed, Zero2ShardsOptimizerMemory) {
+  // Table I, executed: ZeRO-2 holds ~1/n of the optimizer state per rank.
+  std::vector<std::size_t> ddp_elems(4), z2_elems(4);
+  parallel::run_world(4, [&](parallel::SimComm& c) {
+    auto v1 = std::make_shared<ViT>(tiny_config());
+    DistTrainConfig ddp;
+    ddp.strategy = DataParallelStrategy::DDP;
+    DistributedTrainer t1(v1, c, ddp);
+    ddp_elems[static_cast<std::size_t>(c.rank())] = t1.local_optimizer_elems();
+
+    auto v2 = std::make_shared<ViT>(tiny_config());
+    DistTrainConfig z2;
+    z2.strategy = DataParallelStrategy::ZeRO2;
+    DistributedTrainer t2(v2, c, z2);
+    z2_elems[static_cast<std::size_t>(c.rank())] = t2.local_optimizer_elems();
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(static_cast<double>(z2_elems[static_cast<std::size_t>(r)]),
+                static_cast<double>(ddp_elems[static_cast<std::size_t>(r)]) / 4.0,
+                static_cast<double>(ddp_elems[static_cast<std::size_t>(r)]) * 0.01);
+  }
+}
+
+TEST(Distributed, TracksWireBytes) {
+  parallel::run_world(2, [&](parallel::SimComm& c) {
+    auto vit = std::make_shared<ViT>(tiny_config());
+    DistTrainConfig dc;
+    DistributedTrainer trainer(vit, c, dc);
+    trainer.broadcast_parameters();
+    const std::uint64_t before = trainer.bytes_on_wire();
+    Tensor x({2, tiny_config().state_dim()}), y({2, tiny_config().state_dim()});
+    Rng rng(23);
+    rng.fill_gaussian(x.flat());
+    rng.fill_gaussian(y.flat());
+    trainer.step(x, y);
+    EXPECT_GT(trainer.bytes_on_wire(), before);
+  });
+}
+
+}  // namespace
+}  // namespace turbda::nn

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "fft/fft.hpp"
+#include "rng/rng.hpp"
+
+namespace turbda::fft {
+namespace {
+
+using turbda::rng::Rng;
+
+std::vector<Cplx> naive_dft(const std::vector<Cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<Cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx s(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -kTwoPi * static_cast<double>(k * j) / static_cast<double>(n);
+      s += x[j] * Cplx(std::cos(ang), std::sin(ang));
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+class Fft1dP : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fft1dP, MatchesNaiveDft) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(3 + n);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = Cplx(rng.gaussian(), rng.gaussian());
+  const auto want = naive_dft(x);
+  Fft1D plan(n);
+  auto got = x;
+  plan.forward(got);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), want[i].real(), 1e-9 * static_cast<double>(n));
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), 1e-9 * static_cast<double>(n));
+  }
+}
+
+TEST_P(Fft1dP, RoundTripIdentity) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(17 + n);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = Cplx(rng.gaussian(), rng.gaussian());
+  const auto orig = x;
+  Fft1D plan(n);
+  plan.forward(x);
+  plan.inverse(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(Fft1dP, ParsevalHolds) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(23 + n);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = Cplx(rng.gaussian(), rng.gaussian());
+  double grid = 0.0;
+  for (const auto& v : x) grid += std::norm(v);
+  Fft1D plan(n);
+  plan.forward(x);
+  double spec = 0.0;
+  for (const auto& v : x) spec += std::norm(v);
+  EXPECT_NEAR(spec, grid * static_cast<double>(n), 1e-8 * grid * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft1dP, ::testing::Values(1, 2, 4, 8, 16, 64, 256));
+
+TEST(Fft1d, RejectsNonPowerOfTwo) { EXPECT_THROW(Fft1D(12), Error); }
+
+TEST(Fft1d, DeltaFunctionIsFlat) {
+  Fft1D plan(8);
+  std::vector<Cplx> x(8, Cplx(0, 0));
+  x[0] = Cplx(1, 0);
+  plan.forward(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1d, SingleModeLandsInRightBin) {
+  const std::size_t n = 32;
+  Fft1D plan(n);
+  std::vector<Cplx> x(n);
+  const int m = 5;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = kTwoPi * m * static_cast<double>(j) / static_cast<double>(n);
+    x[j] = Cplx(std::cos(ang), 0.0);
+  }
+  plan.forward(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = (k == 5 || k == n - 5) ? static_cast<double>(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expect, 1e-9);
+  }
+}
+
+TEST(Fft2d, RoundTripComplex) {
+  const std::size_t n0 = 16, n1 = 8;
+  Rng rng(31);
+  std::vector<Cplx> x(n0 * n1);
+  for (auto& v : x) v = Cplx(rng.gaussian(), rng.gaussian());
+  const auto orig = x;
+  Fft2D plan(n0, n1);
+  plan.forward(x);
+  plan.inverse(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i].real(), orig[i].real(), 1e-10);
+    EXPECT_NEAR(x[i].imag(), orig[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft2d, RealRoundTrip) {
+  const std::size_t n = 32;
+  Rng rng(37);
+  std::vector<double> g(n * n);
+  rng.fill_gaussian(g);
+  std::vector<Cplx> spec(n * n);
+  Fft2D plan(n, n);
+  plan.forward_real(g, spec);
+  std::vector<double> back(n * n);
+  plan.inverse_real(spec, back);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(back[i], g[i], 1e-10);
+}
+
+TEST(Fft2d, RealSpectrumIsHermitian) {
+  const std::size_t n = 16;
+  Rng rng(41);
+  std::vector<double> g(n * n);
+  rng.fill_gaussian(g);
+  std::vector<Cplx> spec(n * n);
+  Fft2D plan(n, n);
+  plan.forward_real(g, spec);
+  // spec(-ky, -kx) == conj(spec(ky, kx))
+  for (std::size_t jy = 0; jy < n; ++jy) {
+    for (std::size_t jx = 0; jx < n; ++jx) {
+      const std::size_t cy = (n - jy) % n;
+      const std::size_t cx = (n - jx) % n;
+      const Cplx a = spec[jy * n + jx];
+      const Cplx b = std::conj(spec[cy * n + cx]);
+      EXPECT_NEAR(a.real(), b.real(), 1e-9);
+      EXPECT_NEAR(a.imag(), b.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft2d, PlaneWaveSpectralDerivativeIsExact) {
+  // d/dx of cos(2π m x / L) via spectral i*kx multiply, on the unit square.
+  const std::size_t n = 64;
+  Fft2D plan(n, n);
+  const int m = 3;
+  std::vector<double> g(n * n);
+  for (std::size_t jy = 0; jy < n; ++jy)
+    for (std::size_t jx = 0; jx < n; ++jx)
+      g[jy * n + jx] = std::cos(kTwoPi * m * static_cast<double>(jx) / static_cast<double>(n));
+  std::vector<Cplx> spec(n * n);
+  plan.forward_real(g, spec);
+  // multiply by i*k (domain length 1 => k = 2π m').
+  for (std::size_t jy = 0; jy < n; ++jy) {
+    for (std::size_t jx = 0; jx < n; ++jx) {
+      const long mx = (jx <= n / 2) ? static_cast<long>(jx) : static_cast<long>(jx) - static_cast<long>(n);
+      spec[jy * n + jx] *= Cplx(0.0, kTwoPi * static_cast<double>(mx));
+    }
+  }
+  std::vector<double> deriv(n * n);
+  plan.inverse_real(spec, deriv);
+  for (std::size_t jy = 0; jy < n; ++jy)
+    for (std::size_t jx = 0; jx < n; ++jx) {
+      const double x = static_cast<double>(jx) / static_cast<double>(n);
+      const double want = -kTwoPi * m * std::sin(kTwoPi * m * x);
+      EXPECT_NEAR(deriv[jy * n + jx], want, 1e-8);
+    }
+}
+
+TEST(Fft2d, WrongSizeThrows) {
+  Fft2D plan(8, 8);
+  std::vector<Cplx> bad(63);
+  EXPECT_THROW(plan.forward(bad), Error);
+}
+
+}  // namespace
+}  // namespace turbda::fft

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include "hpc/collective_model.hpp"
+#include "hpc/gemm_model.hpp"
+#include "hpc/memory_model.hpp"
+#include "hpc/scaling_sim.hpp"
+#include "hpc/vit_arch.hpp"
+
+namespace turbda::hpc {
+namespace {
+
+TEST(MemoryModel, TableIPartitioning) {
+  MemoryModel mm;
+  const double p = 1e9;
+  const int w = 64;
+
+  const auto ddp = mm.per_gpu(p, ShardStrategy::DDP, w);
+  EXPECT_DOUBLE_EQ(ddp.total(), 6.0 * p);  // 1 + 1 + 2 + 2
+
+  const auto z1 = mm.per_gpu(p, ShardStrategy::ZeRO1, w);
+  EXPECT_DOUBLE_EQ(z1.optimizer, 2.0 * p / w);
+  EXPECT_DOUBLE_EQ(z1.weights, p);
+  EXPECT_DOUBLE_EQ(z1.gradients, p);
+
+  const auto z2 = mm.per_gpu(p, ShardStrategy::ZeRO2, w);
+  EXPECT_DOUBLE_EQ(z2.gradients, p / w);
+  EXPECT_DOUBLE_EQ(z2.weights, p);
+
+  const auto z3 = mm.per_gpu(p, ShardStrategy::ZeRO3, w);
+  EXPECT_DOUBLE_EQ(z3.weights, p / w);
+  EXPECT_DOUBLE_EQ(z3.gradients, p / w);
+  EXPECT_DOUBLE_EQ(z3.optimizer, 2.0 * p / w);
+
+  // Strict memory ordering: DDP > ZeRO1 > ZeRO2 > ZeRO3.
+  EXPECT_GT(ddp.total(), z1.total());
+  EXPECT_GT(z1.total(), z2.total());
+  EXPECT_GT(z2.total(), z3.total());
+
+  // Hybrid shards within the node only.
+  const auto hy = mm.per_gpu(p, ShardStrategy::HybridShard, w, /*node_size=*/8);
+  EXPECT_DOUBLE_EQ(hy.weights, p / 8.0);
+  EXPECT_GT(hy.total(), z3.total());
+}
+
+TEST(MemoryModel, FsdpCommVolumeIsFiftyPercentMore) {
+  // Paper: "FSDP incurs approximately 50% more communication volume
+  // compared to data parallelism".
+  MemoryModel mm;
+  const double p = 1e9;
+  const double ddp = mm.comm_volume_per_gpu(p, ShardStrategy::DDP, 128);
+  const double fsdp = mm.comm_volume_per_gpu(p, ShardStrategy::ZeRO3, 128);
+  EXPECT_NEAR(fsdp / ddp, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(mm.comm_volume_per_gpu(p, ShardStrategy::DDP, 1), 0.0);
+}
+
+TEST(CollectiveModel, BandwidthBoundedByHardware) {
+  CollectiveModel cm;
+  for (int n : {2, 8, 64, 1024}) {
+    for (double mb : {1.0, 64.0, 1024.0}) {
+      const double bw = cm.bus_bandwidth(Collective::AllReduce, mb * 1048576.0, n);
+      EXPECT_GT(bw, 0.0);
+      EXPECT_LT(bw, 2.0 * cm.spec().intra_mcm_bw);
+    }
+  }
+}
+
+TEST(CollectiveModel, AllReduceDipAround256MB) {
+  // Paper Fig. 8: "there is a sudden performance drop around message size
+  // 256MB for AllReduce".
+  CollectiveModel cm;
+  const int n = 512;
+  const double bw128 = cm.bus_bandwidth(Collective::AllReduce, 100.0 * 1048576.0, n);
+  const double bw256 = cm.bus_bandwidth(Collective::AllReduce, 256.0 * 1048576.0, n);
+  const double bw1g = cm.bus_bandwidth(Collective::AllReduce, 1024.0 * 1048576.0, n);
+  EXPECT_LT(bw256, 0.8 * bw128);
+  EXPECT_GT(bw1g, bw256);
+}
+
+TEST(CollectiveModel, AllReduceBeatsOthersForMediumMessagesAtScale) {
+  // Paper Fig. 8: for 64 MB messages AllReduce significantly outperforms
+  // AllGather/ReduceScatter at scale, while all three converge at ~1 GB.
+  CollectiveModel cm;
+  const double m64 = 64.0 * 1048576.0, g1 = 1024.0 * 1048576.0;
+  const int n = 1024;
+  const double ar = cm.bus_bandwidth(Collective::AllReduce, m64, n);
+  const double ag = cm.bus_bandwidth(Collective::AllGather, m64, n);
+  const double rs = cm.bus_bandwidth(Collective::ReduceScatter, m64, n);
+  EXPECT_GT(ar, 1.2 * ag);
+  EXPECT_NEAR(ag, rs, 0.05 * ag);
+
+  const double ar1 = cm.bus_bandwidth(Collective::AllReduce, g1, n);
+  const double ag1 = cm.bus_bandwidth(Collective::AllGather, g1, n);
+  EXPECT_NEAR(ar1 / ag1, 1.0, 0.35);
+}
+
+TEST(CollectiveModel, MoreGpusTakeLonger) {
+  CollectiveModel cm;
+  const double bytes = 256.0 * 1048576.0;
+  double prev = 0.0;
+  for (int n : {8, 64, 512}) {
+    const double t = cm.seconds(Collective::AllGather, bytes, n);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GemmModel, ShapeHeuristicsMatchFig6) {
+  GemmModel g;
+  nn::VitConfig v = table2_architectures()[2];  // 256^2 input
+  // Embedding 2048 beats 1024 (best observed performance at 2048).
+  nn::VitConfig v1024 = v, v2048 = v;
+  v1024.embed_dim = 1024;
+  v2048.embed_dim = 2048;
+  EXPECT_GT(g.vit_training_tflops(v2048, 8), g.vit_training_tflops(v1024, 8));
+  // More attention heads reduce performance.
+  nn::VitConfig h8 = v, h32 = v;
+  h8.heads = 8;
+  h32.heads = 32;
+  EXPECT_GT(g.vit_training_tflops(h8, 8), g.vit_training_tflops(h32, 8));
+  // Heavier MLP improves performance.
+  nn::VitConfig m2 = v, m8 = v;
+  m2.mlp_ratio = 2.0;
+  m8.mlp_ratio = 8.0;
+  EXPECT_GT(g.vit_training_tflops(m8, 8), g.vit_training_tflops(m2, 8));
+  // The sweep spans roughly the paper's 20-52 TFLOPS band.
+  const double best = g.vit_training_tflops(v2048, 8);
+  EXPECT_GT(best, 30.0);
+  EXPECT_LT(best, 60.0);
+}
+
+TEST(VitArch, TableIIParams) {
+  const auto archs = table2_architectures();
+  ASSERT_EQ(archs.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(archs[0].param_count()), 157e6, 10e6);
+  EXPECT_NEAR(static_cast<double>(archs[1].param_count()), 1.2e9, 0.05e9);
+  EXPECT_NEAR(static_cast<double>(archs[2].param_count()), 2.5e9, 0.1e9);
+}
+
+TEST(VitArch, Eq18FlopsBudget) {
+  // T = 6 * tokens * epochs * images * params; hand check for the small ViT.
+  const auto cfg = table2_architectures()[0];
+  const double tokens = 16.0 * 16.0;  // 64/4 squared
+  const double want = 6.0 * tokens * 100.0 * 1e6 * static_cast<double>(cfg.param_count());
+  EXPECT_DOUBLE_EQ(training_flops(cfg, 100, 1e6), want);
+  // Budget grows with model size.
+  const auto a = table2_architectures();
+  EXPECT_LT(training_flops(a[0], 100, 1e6), training_flops(a[1], 100, 1e6));
+  EXPECT_LT(training_flops(a[1], 100, 1e6), training_flops(a[2], 100, 1e6));
+}
+
+TEST(VitArch, NodeHoursPositiveAndScale) {
+  const auto a = table2_architectures();
+  const double h0 = frontier_node_hours(training_flops(a[0], 100, 1e6));
+  const double h2 = frontier_node_hours(training_flops(a[2], 100, 1e6));
+  EXPECT_GT(h0, 0.0);
+  EXPECT_GT(h2, 10.0 * h0);
+}
+
+TEST(ScalingSim, EfficiencyDecreasesWithScaleAndStaysInRange) {
+  ScalingSim sim;
+  TrainSetup s;
+  s.arch = table2_architectures()[1];
+  s.global_batch = 5120;
+  s.strategy = ShardStrategy::ZeRO1;
+  double prev = 1.01;
+  for (int n : {8, 64, 512, 1024}) {
+    const double e = sim.scaling_efficiency(s, n);
+    EXPECT_LE(e, prev + 1e-9);
+    EXPECT_GT(e, 0.3);
+    prev = e;
+  }
+}
+
+TEST(ScalingSim, MidSizeModelScalesBest) {
+  // Paper Fig. 9: "128^2 performs the best with a scaling efficiency of 86%,
+  // while 64^2 and 256^2 perform comparably [worse]".
+  ScalingSim sim;
+  const auto archs = table2_architectures();
+  const auto batches = table2_global_batches();
+  double eff[3];
+  for (int a = 0; a < 3; ++a) {
+    TrainSetup s;
+    s.arch = archs[static_cast<std::size_t>(a)];
+    s.global_batch = batches[static_cast<std::size_t>(a)];
+    s.strategy = ShardStrategy::ZeRO1;
+    s.bucket_mb = 200.0;
+    eff[a] = sim.scaling_efficiency(s, 1024);
+  }
+  EXPECT_GT(eff[1], eff[0]);
+  EXPECT_GT(eff[1], eff[2]);
+  EXPECT_NEAR(eff[1], 0.86, 0.06);  // paper: 86%
+}
+
+TEST(ScalingSim, BucketTuningMatchesPaperStory) {
+  // DeepSpeed default (200 MB) sits on the AllReduce dip; ~500 MB is best;
+  // a huge bucket loses overlap (paper §IV-B-c).
+  ScalingSim sim;
+  TrainSetup s;
+  s.arch = table2_architectures()[2];
+  s.global_batch = 1024;
+  s.strategy = ShardStrategy::ZeRO1;
+
+  s.bucket_mb = 200.0;
+  const double e200 = sim.scaling_efficiency(s, 1024);
+  s.bucket_mb = 500.0;
+  const double e500 = sim.scaling_efficiency(s, 1024);
+  s.bucket_mb = 8000.0;
+  const double e8000 = sim.scaling_efficiency(s, 1024);
+
+  EXPECT_GT(e500, e200);
+  EXPECT_GT(e500, e8000);
+  EXPECT_NEAR(e500, 0.85, 0.06);  // paper: "scaling efficiency improves to 85%"
+}
+
+TEST(ScalingSim, FullShardSlowerThanDdpAtScale) {
+  ScalingSim sim;
+  TrainSetup s;
+  s.arch = table2_architectures()[2];
+  s.global_batch = 1024;
+  s.bucket_mb = 500.0;
+  s.strategy = ShardStrategy::DDP;
+  const double ddp = sim.scaling_efficiency(s, 1024);
+  s.strategy = ShardStrategy::ZeRO3;
+  const double z3 = sim.scaling_efficiency(s, 1024);
+  EXPECT_LT(z3, ddp);
+}
+
+TEST(ScalingSim, CommFractionOrderingMatchesFig7) {
+  // At 1024 GPUs: communication share is larger for 64^2 and 256^2 than for
+  // 128^2 (paper Fig. 7 discussion).
+  ScalingSim sim;
+  const auto archs = table2_architectures();
+  const auto batches = table2_global_batches();
+  double comm[3];
+  for (int a = 0; a < 3; ++a) {
+    TrainSetup s;
+    s.arch = archs[static_cast<std::size_t>(a)];
+    s.global_batch = batches[static_cast<std::size_t>(a)];
+    s.strategy = ShardStrategy::ZeRO1;
+    s.bucket_mb = 200.0;
+    comm[a] = sim.step(s, 1024).comm_fraction();
+  }
+  EXPECT_GT(comm[0], comm[1]);
+  EXPECT_GT(comm[2], comm[1]);
+}
+
+TEST(EnsfScalingModel, MatchesPaperAnchors) {
+  // Paper §IV-B-d: "The time per step is about 0.4s for 1M dimension, and
+  // 28s for 100M."
+  EnsfScalingModel m;
+  EXPECT_NEAR(m.step_seconds(1e6, 8), 0.4, 0.05);
+  EXPECT_NEAR(m.step_seconds(1e8, 8), 28.0, 1.0);
+  // Weak scaling is flat: going 8 -> 1024 GPUs changes step time by < 5%.
+  for (double dim : {1e6, 1e7, 1e8}) {
+    const double t8 = m.step_seconds(dim, 8);
+    const double t1024 = m.step_seconds(dim, 1024);
+    EXPECT_NEAR(t1024 / t8, 1.0, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace turbda::hpc

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace turbda::rng {
+namespace {
+
+TEST(Rng, ReproducibleAcrossInstances) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SubstreamsAreIndependentAndReproducible) {
+  Rng parent(77);
+  Rng s1 = parent.substream(0);
+  Rng s2 = parent.substream(1);
+  Rng s1b = Rng(77).substream(0);
+  int same12 = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = s1.next_u32();
+    const auto b = s2.next_u32();
+    EXPECT_EQ(a, s1b.next_u32());
+    same12 += (a == b);
+  }
+  EXPECT_LT(same12, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(5);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(9);
+  const int n = 50000;
+  double m1 = 0.0, m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian();
+    m1 += g;
+    m2 += g * g;
+    m3 += g * g * g;
+    m4 += g * g * g * g;
+  }
+  m1 /= n;
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  EXPECT_NEAR(m1, 0.0, 0.02);
+  EXPECT_NEAR(m2, 1.0, 0.03);
+  EXPECT_NEAR(m3, 0.0, 0.06);
+  EXPECT_NEAR(m4, 3.0, 0.15);  // kurtosis of the standard normal
+}
+
+TEST(Rng, GaussianWithMeanAndStddev) {
+  Rng r(11);
+  const int n = 20000;
+  double m1 = 0.0, m2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.gaussian(5.0, 2.0);
+    m1 += g;
+    m2 += g * g;
+  }
+  m1 /= n;
+  EXPECT_NEAR(m1, 5.0, 0.1);
+  EXPECT_NEAR(m2 / n - m1 * m1, 4.0, 0.2);
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng r(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) {
+    const auto v = r.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  r.shuffle(std::span<int>(w));
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, FillGaussianFillsAll) {
+  Rng r(23);
+  std::vector<double> v(100, -1e300);
+  r.fill_gaussian(v);
+  for (double x : v) EXPECT_LT(std::abs(x), 10.0);
+}
+
+}  // namespace
+}  // namespace turbda::rng

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "rng/rng.hpp"
+#include "sqg/sqg.hpp"
+
+namespace turbda::sqg {
+namespace {
+
+using turbda::rng::Rng;
+
+SqgConfig inviscid_config(std::size_t n = 64) {
+  SqgConfig cfg;
+  cfg.n = n;
+  cfg.t_diab = 0.0;       // no thermal relaxation
+  cfg.r_ekman = 0.0;      // no Ekman damping
+  cfg.diff_efold = 1e30;  // hyperdiffusion effectively off
+  return cfg;
+}
+
+TEST(Sqg, ZeroStateStaysZero) {
+  SqgModel model(inviscid_config(16));
+  std::vector<double> theta(model.dim(), 0.0);
+  model.step(theta, 10);
+  for (double v : theta) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Sqg, SpectralGridRoundTrip) {
+  SqgModel model(inviscid_config(32));
+  Rng rng(5);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 8);
+  std::vector<Cplx> spec(model.dim());
+  model.to_spectral(theta, spec);
+  std::vector<double> back(model.dim());
+  model.to_grid(spec, back);
+  for (std::size_t i = 0; i < theta.size(); ++i) EXPECT_NEAR(back[i], theta[i], 1e-9);
+}
+
+TEST(Sqg, RandomInitHitsRequestedRms) {
+  SqgModel model(inviscid_config(64));
+  Rng rng(6);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 2.5, 4);
+  const auto lvl0 = std::span<const double>(theta).first(model.n() * model.n());
+  const auto lvl1 = std::span<const double>(theta).last(model.n() * model.n());
+  EXPECT_NEAR(rms(lvl0), 2.5, 1e-9);
+  EXPECT_NEAR(rms(lvl1), 2.5, 1e-9);
+}
+
+TEST(Sqg, InversionSatisfiesBoundaryRelation) {
+  // For a bottom-only theta (theta1 = 0), psi0 = -theta0 / (kappa tanh(mu))
+  // and psi1 = -theta0 / (kappa sinh(mu)) — check on a single mode.
+  SqgConfig cfg = inviscid_config(32);
+  SqgModel model(cfg);
+  const std::size_t n = cfg.n, nn = n * n;
+  std::vector<Cplx> theta(2 * nn, Cplx(0, 0)), psi(2 * nn);
+  const long mx = 3, my = 2;
+  const std::size_t p = static_cast<std::size_t>(my) * n + static_cast<std::size_t>(mx);
+  theta[p] = Cplx(1.0, -0.5);  // level 0 only
+  model.invert(theta, psi);
+
+  const double k = kTwoPi * std::sqrt(static_cast<double>(mx * mx + my * my)) / cfg.L;
+  const double kappa = std::sqrt(cfg.nsq) * k / cfg.f;
+  const double mu = kappa * cfg.H;
+  const Cplx want0 = -theta[p] / (kappa * std::tanh(mu));
+  const Cplx want1 = -theta[p] / (kappa * std::sinh(mu));
+  EXPECT_NEAR(psi[p].real(), want0.real(), 1e-9 * std::abs(want0));
+  EXPECT_NEAR(psi[p].imag(), want0.imag(), 1e-9 * std::abs(want0));
+  EXPECT_NEAR(psi[nn + p].real(), want1.real(), 1e-9 * std::abs(want1));
+  EXPECT_NEAR(psi[nn + p].imag(), want1.imag(), 1e-9 * std::abs(want1));
+}
+
+TEST(Sqg, EadyGrowthRateMatchesTextbookFormula) {
+  // sigma = k (U/mu) sqrt[(coth(mu/2) - mu/2)(mu/2 - tanh(mu/2))] for the
+  // symmetric-shear Eady problem (e.g. Vallis 2017, §9.
+  // Our eady_growth_rate builds the 2x2 stability matrix directly; the two
+  // must agree for every unstable wavenumber.
+  SqgConfig cfg = inviscid_config(64);
+  SqgModel model(cfg);
+  for (int m = 1; m <= 12; ++m) {
+    const double k = kTwoPi * m / cfg.L;
+    const double mu = std::sqrt(cfg.nsq) * k * cfg.H / cfg.f;
+    const double half = 0.5 * mu;
+    const double term1 = 1.0 / std::tanh(half) - half;
+    const double term2 = half - std::tanh(half);
+    const double want = (term1 > 0.0) ? k * (cfg.U / mu) * std::sqrt(term1 * term2) : 0.0;
+    EXPECT_NEAR(model.eady_growth_rate(m), want, 1e-12 + 1e-9 * want) << "mode " << m;
+  }
+}
+
+TEST(Sqg, ShortEadyWavesAreNeutral) {
+  SqgConfig cfg = inviscid_config(64);
+  SqgModel model(cfg);
+  // Eady cutoff mu_c ~= 2.399; with these parameters modes m >= 8 are neutral.
+  EXPECT_GT(model.eady_growth_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(model.eady_growth_rate(10), 0.0);
+}
+
+TEST(Sqg, NonlinearSolverReproducesLinearEadyGrowth) {
+  // Initialize a single zonal mode (ky = 0) at tiny amplitude; for such modes
+  // the Jacobian vanishes identically, so the solver integrates the linear
+  // Eady dynamics and its growth must match theory.
+  SqgConfig cfg = inviscid_config(32);
+  cfg.dt = 3600.0;
+  SqgModel model(cfg);
+  const int m = 2;
+  const double sigma = model.eady_growth_rate(m);
+  ASSERT_GT(sigma, 0.0);
+
+  const std::size_t n = cfg.n, nn = n * n;
+  std::vector<double> theta(model.dim());
+  // Grid-space single mode on the bottom boundary.
+  for (std::size_t jy = 0; jy < n; ++jy)
+    for (std::size_t jx = 0; jx < n; ++jx)
+      theta[jy * n + jx] = 1e-7 * std::cos(kTwoPi * m * static_cast<double>(jx) / n);
+
+  // The IC projects onto growing and decaying normal modes equally; the
+  // stability matrix is non-normal, so the apparent growth overshoots until
+  // the decaying mode is gone. Spin up ~5 e-folds before measuring.
+  const int spinup = 260, measure = 130;
+  model.step(theta, spinup);
+  const double r1 = rms(std::span<const double>(theta).first(nn));
+  model.step(theta, measure);
+  const double r2 = rms(std::span<const double>(theta).first(nn));
+  const double got = std::log(r2 / r1) / (measure * cfg.dt);
+  EXPECT_NEAR(got, sigma, 0.02 * sigma);
+}
+
+TEST(Sqg, ThermalRelaxationDampsWithoutShear) {
+  SqgConfig cfg = inviscid_config(32);
+  cfg.U = 0.0;               // no baroclinic energy source
+  cfg.t_diab = 5.0 * 86400;  // 5-day relaxation
+  SqgModel model(cfg);
+  Rng rng(7);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 4);
+  const double e0 = model.total_ke(theta);
+  model.advance(theta, 5.0 * 86400);
+  const double e1 = model.total_ke(theta);
+  // After one relaxation time, KE should drop by roughly exp(-2) (psi ~ e^-t).
+  EXPECT_LT(e1, 0.35 * e0);
+  EXPECT_GT(e1, 0.01 * e0);
+}
+
+TEST(Sqg, HyperdiffusionKillsSmallScalesFirst) {
+  SqgConfig cfg = inviscid_config(64);
+  cfg.U = 0.0;
+  cfg.diff_efold = 450.0;  // strong del^8 smoothing
+  SqgModel model(cfg);
+  Rng rng(8);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 21);  // broad-band IC up to the 2/3 cutoff
+  auto spec_before = model.ke_spectrum(theta, 0);
+  model.step(theta, 20);
+  auto spec_after = model.ke_spectrum(theta, 0);
+  // del^8 falloff: large scales barely touched, cutoff scales strongly damped.
+  ASSERT_GT(spec_before[3], 0.0);
+  ASSERT_GT(spec_before[21], 0.0);
+  EXPECT_GT(spec_after[3] / spec_before[3], 0.8);
+  EXPECT_LT(spec_after[21] / spec_before[21], 0.2);
+}
+
+TEST(Sqg, BaroclinicTurbulenceGrowsFromSmallPerturbations) {
+  SqgConfig cfg = inviscid_config(64);
+  cfg.diff_efold = 86400.0 / 3.0;  // keep hyperdiffusion for stability
+  cfg.dt = 1800.0;
+  SqgModel model(cfg);
+  Rng rng(9);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1e-4, 4);
+  const double e0 = model.total_ke(theta);
+  model.advance(theta, 20.0 * 86400);
+  const double e1 = model.total_ke(theta);
+  EXPECT_GT(e1, 100.0 * e0);  // baroclinic instability extracts energy
+  for (double v : theta) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Sqg, SpectrumBinsSumToTotalKe) {
+  SqgModel model(inviscid_config(64));
+  Rng rng(10);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 8);
+  const auto s0 = model.ke_spectrum(theta, 0);
+  const auto s1 = model.ke_spectrum(theta, 1);
+  double sum = 0.0;
+  for (double v : s0) sum += v;
+  for (double v : s1) sum += v;
+  EXPECT_NEAR(sum, model.total_ke(theta), 1e-9 * sum);
+}
+
+TEST(Sqg, CflScalesWithTimeStep) {
+  SqgConfig cfg = inviscid_config(32);
+  SqgModel model(cfg);
+  Rng rng(11);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 4);
+  const double c1 = model.cfl(theta);
+  SqgConfig cfg2 = cfg;
+  cfg2.dt = 2.0 * cfg.dt;
+  SqgModel model2(cfg2);
+  const double c2 = model2.cfl(theta);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-9);
+  EXPECT_GT(c1, 0.0);
+}
+
+TEST(Sqg, StepPreservesRealness) {
+  SqgConfig cfg = inviscid_config(32);
+  cfg.diff_efold = 86400.0;
+  SqgModel model(cfg);
+  Rng rng(12);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 4);
+  model.step(theta, 50);
+  for (double v : theta) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Sqg, AdvanceRoundsStepCountUp) {
+  SqgConfig cfg = inviscid_config(16);
+  SqgModel model(cfg);
+  Rng rng(13);
+  std::vector<double> a(model.dim());
+  model.random_init(a, rng, 1.0, 3);
+  auto b = a;
+  model.advance(a, 2.5 * cfg.dt);  // should take 3 steps
+  model.step(b, 3);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Sqg, RejectsBadConfig) {
+  SqgConfig cfg;
+  cfg.n = 48;  // not a power of two
+  EXPECT_THROW(SqgModel model(cfg), Error);
+  SqgConfig cfg2;
+  cfg2.diff_order = 7;  // odd order
+  EXPECT_THROW(SqgModel model2(cfg2), Error);
+}
+
+}  // namespace
+}  // namespace turbda::sqg

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rng/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/tensor.hpp"
+
+namespace turbda::tensor {
+namespace {
+
+using turbda::rng::Rng;
+
+Tensor random_tensor(std::initializer_list<std::size_t> shape, Rng& rng) {
+  Tensor t(shape);
+  rng.fill_gaussian(t.flat());
+  return t;
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.extent(0), 2u);
+  EXPECT_EQ(t.extent(1), 3u);
+  t(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(t(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(t.flat()[5], 5.0);
+}
+
+TEST(Tensor, RowSpan) {
+  Tensor t({3, 4});
+  t(1, 0) = 9.0;
+  auto r = t.row(1);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[0], 9.0);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a = Tensor::full({2, 2}, 1.0);
+  Tensor b = Tensor::full({2, 2}, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t(1, 0) = 7.0;  // flat index 6
+  t.reshape({3, 4});
+  EXPECT_DOUBLE_EQ(t(1, 2), 7.0);
+  EXPECT_THROW(t.reshape({5, 5}), Error);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2, 2}), b({2, 3});
+  EXPECT_THROW(a += b, Error);
+}
+
+// --- GEMM against a naive reference over shape and transpose sweeps --------
+
+void naive_gemm(Trans ta, Trans tb, const Tensor& a, const Tensor& b, Tensor& c) {
+  const std::size_t m = c.extent(0), n = c.extent(1);
+  const std::size_t k = (ta == Trans::No) ? a.extent(1) : a.extent(0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = (ta == Trans::No) ? a(i, p) : a(p, i);
+        const double bv = (tb == Trans::No) ? b(p, j) : b(j, p);
+        s += av * bv;
+      }
+      c(i, j) = s;
+    }
+}
+
+using GemmShape = std::tuple<int, int, int>;
+
+class GemmP : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmP, MatchesNaiveAllTransposeVariants) {
+  const auto [mi, ni, ki] = GetParam();
+  const auto m = static_cast<std::size_t>(mi), n = static_cast<std::size_t>(ni),
+             k = static_cast<std::size_t>(ki);
+  Rng rng(42 + static_cast<std::uint64_t>(mi * 1000 + ni * 10 + ki));
+
+  {
+    Tensor a = random_tensor({m, k}, rng), b = random_tensor({k, n}, rng);
+    Tensor want({m, n});
+    naive_gemm(Trans::No, Trans::No, a, b, want);
+    const Tensor got = matmul(a, b);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(got.flat()[i], want.flat()[i], 1e-10);
+  }
+  {
+    Tensor a = random_tensor({k, m}, rng), b = random_tensor({k, n}, rng);
+    Tensor want({m, n});
+    naive_gemm(Trans::Yes, Trans::No, a, b, want);
+    const Tensor got = matmul_tn(a, b);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(got.flat()[i], want.flat()[i], 1e-10);
+  }
+  {
+    Tensor a = random_tensor({m, k}, rng), b = random_tensor({n, k}, rng);
+    Tensor want({m, n});
+    naive_gemm(Trans::No, Trans::Yes, a, b, want);
+    const Tensor got = matmul_nt(a, b);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(got.flat()[i], want.flat()[i], 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmP,
+                         ::testing::Values(GemmShape{1, 1, 1}, GemmShape{3, 5, 7},
+                                           GemmShape{16, 16, 16}, GemmShape{33, 65, 129},
+                                           GemmShape{128, 64, 200}, GemmShape{70, 257, 31}));
+
+TEST(Gemm, AlphaBetaSemantics) {
+  Rng rng(1);
+  Tensor a = random_tensor({4, 4}, rng), b = random_tensor({4, 4}, rng);
+  Tensor c = Tensor::full({4, 4}, 2.0);
+  Tensor ab({4, 4});
+  naive_gemm(Trans::No, Trans::No, a, b, ab);
+  gemm(Trans::No, Trans::Yes == Trans::Yes ? Trans::No : Trans::No, 4, 4, 4, 0.5, a.data(), 4,
+       b.data(), 4, 3.0, c.data(), 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(c(i, j), 0.5 * ab(i, j) + 6.0, 1e-10);
+}
+
+TEST(Gemm, MatvecMatchesMatmul) {
+  Rng rng(2);
+  Tensor a = random_tensor({5, 7}, rng);
+  Tensor x = random_tensor({7}, rng);
+  const Tensor y = matvec(a, x);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) s += a(i, j) * x(j);
+    EXPECT_NEAR(y(i), s, 1e-10);
+  }
+}
+
+// --- Symmetric eigensolver ---------------------------------------------------
+
+class EighP : public ::testing::TestWithParam<int> {};
+
+TEST_P(EighP, ReconstructsRandomSymmetricMatrix) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(100 + static_cast<std::uint64_t>(n));
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  Tensor v;
+  std::vector<double> w;
+  jacobi_eigh(a, v, w);
+
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_LE(w[i - 1], w[i]);
+
+  // V orthonormal: V^T V = I.
+  const Tensor vtv = matmul_tn(v, v);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+
+  // A = V diag(w) V^T.
+  Tensor vd({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) vd(i, j) = v(i, j) * w[j];
+  const Tensor rec = matmul_nt(vd, v);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(rec.flat()[i], a.flat()[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EighP, ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+TEST(Eigh, DiagonalMatrix) {
+  Tensor a({3, 3});
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  Tensor v;
+  std::vector<double> w;
+  jacobi_eigh(a, v, w);
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0, 1e-12);
+  EXPECT_NEAR(w[2], 3.0, 1e-12);
+}
+
+TEST(Cholesky, FactorizesAndSolves) {
+  Rng rng(7);
+  const std::size_t n = 8;
+  // SPD matrix: A = B B^T + n*I.
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor a = matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+
+  const Tensor l = cholesky(a);
+  const Tensor llt = matmul_nt(l, l);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(llt.flat()[i], a.flat()[i], 1e-9);
+
+  std::vector<double> rhs(n);
+  rng.fill_gaussian(rhs);
+  const auto x = spd_solve(a, rhs);
+  // Check A x == rhs.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += a(i, j) * x[j];
+    EXPECT_NEAR(s, rhs[i], 1e-8);
+  }
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Tensor a({2, 2});
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(a), Error);
+}
+
+TEST(SymFunc, MatrixSquareRoot) {
+  Rng rng(8);
+  const std::size_t n = 6;
+  Tensor b = random_tensor({n, n}, rng);
+  Tensor a = matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  const Tensor s = sym_func(a, [](double x) { return std::sqrt(x); });
+  const Tensor ss = matmul(s, s);
+  for (std::size_t i = 0; i < n * n; ++i) EXPECT_NEAR(ss.flat()[i], a.flat()[i], 1e-8);
+}
+
+TEST(FroNorm, KnownValue) {
+  Tensor a({2, 2});
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(fro_norm(a), 5.0);
+}
+
+}  // namespace
+}  // namespace turbda::tensor

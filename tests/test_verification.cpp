@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "da/verification.hpp"
+#include "rng/rng.hpp"
+
+namespace turbda::da {
+namespace {
+
+using turbda::rng::Rng;
+
+TEST(Crps, DeterministicEnsembleReducesToAbsoluteError) {
+  const std::vector<double> members{2.0, 2.0, 2.0, 2.0};
+  EXPECT_NEAR(crps_scalar(members, 3.5), 1.5, 1e-12);
+  EXPECT_NEAR(crps_scalar(members, 2.0), 0.0, 1e-12);
+}
+
+TEST(Crps, TwoMemberHandComputation) {
+  // members {0, 2}, truth 1: term1 = 1, term2 = (1/8)*sum|xi-xj| = 4/8.
+  const std::vector<double> members{0.0, 2.0};
+  EXPECT_NEAR(crps_scalar(members, 1.0), 1.0 - 0.5, 1e-12);
+}
+
+TEST(Crps, SharpAccurateBeatsSharpBiased) {
+  Rng rng(1);
+  const std::size_t m = 50;
+  std::vector<double> good(m), biased(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    good[k] = rng.gaussian(0.0, 1.0);
+    biased[k] = rng.gaussian(3.0, 1.0);
+  }
+  EXPECT_LT(crps_scalar(good, 0.0), crps_scalar(biased, 0.0));
+}
+
+TEST(Crps, RewardsCalibratedSpread) {
+  // Truth drawn from N(0,1): an ensemble with matching spread should score
+  // better (on average) than one that is far too wide.
+  Rng rng(2);
+  const std::size_t m = 40;
+  double sharp = 0.0, wide = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const double truth = rng.gaussian();
+    std::vector<double> a(m), b(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      a[k] = rng.gaussian(0.0, 1.0);
+      b[k] = rng.gaussian(0.0, 5.0);
+    }
+    sharp += crps_scalar(a, truth);
+    wide += crps_scalar(b, truth);
+  }
+  EXPECT_LT(sharp, wide);
+}
+
+TEST(Crps, EnsembleVersionAveragesVariables) {
+  Ensemble ens(3, 2);
+  // var 0: members {0,1,2}; var 1: all 5.0.
+  for (std::size_t k = 0; k < 3; ++k) {
+    ens.member(k)[0] = static_cast<double>(k);
+    ens.member(k)[1] = 5.0;
+  }
+  const std::vector<double> truth{1.0, 5.0};
+  const double v0 = crps_scalar(std::vector<double>{0.0, 1.0, 2.0}, 1.0);
+  EXPECT_NEAR(crps(ens, truth), 0.5 * (v0 + 0.0), 1e-12);
+}
+
+TEST(RankHistogram, CalibratedEnsembleIsFlat) {
+  Rng rng(3);
+  const std::size_t m = 10, d = 20000;
+  Ensemble ens(m, d);
+  std::vector<double> truth(d);
+  // Truth and members iid from the same distribution -> flat histogram.
+  for (std::size_t i = 0; i < d; ++i) truth[i] = rng.gaussian();
+  for (std::size_t k = 0; k < m; ++k) rng.fill_gaussian(ens.member(k));
+  const auto hist = rank_histogram(ens, truth);
+  ASSERT_EQ(hist.size(), m + 1);
+  const double expected = 1.0 / static_cast<double>(m + 1);
+  for (double h : hist) EXPECT_NEAR(h, expected, 0.25 * expected);
+  EXPECT_LT(rank_histogram_flatness(hist), 0.01);
+}
+
+TEST(RankHistogram, UnderdispersedEnsembleIsUShaped) {
+  Rng rng(4);
+  const std::size_t m = 10, d = 20000;
+  Ensemble ens(m, d);
+  std::vector<double> truth(d);
+  for (std::size_t i = 0; i < d; ++i) truth[i] = rng.gaussian();  // sd 1
+  for (std::size_t k = 0; k < m; ++k) rng.fill_gaussian(ens.member(k), 0.0, 0.3);
+  const auto hist = rank_histogram(ens, truth);
+  // Extreme ranks dominate.
+  EXPECT_GT(hist.front(), 2.0 / static_cast<double>(m + 1));
+  EXPECT_GT(hist.back(), 2.0 / static_cast<double>(m + 1));
+  EXPECT_GT(rank_histogram_flatness(hist), 0.5);
+}
+
+TEST(RankHistogram, SumsToOne) {
+  Rng rng(5);
+  Ensemble ens(7, 500);
+  std::vector<double> truth(500);
+  rng.fill_gaussian(truth);
+  for (std::size_t k = 0; k < 7; ++k) rng.fill_gaussian(ens.member(k));
+  const auto hist = rank_histogram(ens, truth);
+  double s = 0.0;
+  for (double h : hist) s += h;
+  EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(SpreadSkill, CalibratedNearOne) {
+  Rng rng(6);
+  const std::size_t m = 40, d = 5000;
+  Ensemble ens(m, d);
+  std::vector<double> truth(d);
+  for (std::size_t i = 0; i < d; ++i) truth[i] = rng.gaussian();
+  for (std::size_t k = 0; k < m; ++k) rng.fill_gaussian(ens.member(k));
+  EXPECT_NEAR(spread_skill_ratio(ens, truth), 1.0, 0.1);
+}
+
+TEST(SpreadSkill, FlagsOverconfidence) {
+  Rng rng(7);
+  const std::size_t m = 20, d = 2000;
+  Ensemble ens(m, d);
+  std::vector<double> truth(d, 0.0);
+  // Biased AND tight: the pre-divergence signature.
+  for (std::size_t k = 0; k < m; ++k)
+    for (std::size_t i = 0; i < d; ++i) ens.member(k)[i] = 2.0 + rng.gaussian(0.0, 0.1);
+  EXPECT_LT(spread_skill_ratio(ens, truth), 0.2);
+}
+
+}  // namespace
+}  // namespace turbda::da
