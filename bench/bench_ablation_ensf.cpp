@@ -42,10 +42,18 @@ double cycling_rmse(const da::EnsfConfig& fcfg, int cycles = 30) {
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "bench_ablation_ensf: EnSF design-choice ablations on Lorenz-96\n"
+                 "  --cycles=<int>   assimilation cycles per run (default 30)\n"
+                 "  --threads=<int>  EnSF worker threads for the sample loops;\n"
+                 "                   0 = all hardware threads (default 0)\n";
+    return 0;
+  }
   const int cycles = static_cast<int>(args.get_int("cycles", 30));
   std::cout << "=== EnSF ablations (Lorenz-96, dim 40, R = I, 20 members, late-cycle "
                "analysis RMSE) ===\n";
-  const da::EnsfConfig base = da::EnsfConfig::stabilized();
+  da::EnsfConfig base = da::EnsfConfig::stabilized();
+  base.n_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   {
     std::cout << "\nDamping h(t) (paper uses T - t and notes alternatives):\n";

@@ -1,21 +1,113 @@
 // LETKF regularization ablations (DESIGN.md §5): cut-off localization radius
 // and RTPS inflation factor, on a small SQG OSSE. The paper tunes these to
 // 2000 km / 0.3 in an error-free twin experiment.
+//
+// Also measures thread scaling of the per-column local analyses: the LETKF
+// hot path is embarrassingly parallel over grid columns, and the parallel
+// result must stay bitwise identical to the single-threaded one.
+#include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench/../bench/sqg_experiment.hpp"
+#include "common/timer.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
+#include "rng/rng.hpp"
 
 using namespace turbda;
 
+namespace {
+
+/// Times `reps` LETKF analyses of a synthetic ensemble at each thread count
+/// and verifies bitwise agreement with the single-threaded analysis.
+/// Returns false when any thread count produced a bitwise mismatch, so CI
+/// can fail on a determinism regression.
+[[nodiscard]] bool thread_scaling(std::size_t n, std::size_t members, int reps) {
+  reps = std::max(1, reps);
+  da::LetkfConfig lc;
+  lc.nx = n;
+  lc.ny = n;
+  lc.n_levels = 2;
+  lc.domain_m = 20.0e6;
+  lc.cutoff_m = 2.0e6;
+  lc.rtps = 0.3;
+
+  const std::size_t dim = lc.nx * lc.ny * lc.n_levels;
+  std::vector<double> truth(dim), y(dim);
+  rng::Rng rng(42);
+  rng.fill_gaussian(truth, 0.0, 2.0);
+  for (std::size_t i = 0; i < dim; ++i) y[i] = truth[i] + rng.gaussian();
+  da::IdentityObs h(dim, lc.nx, lc.ny, lc.n_levels);
+  da::DiagonalR r(dim, 1.0);
+
+  da::Ensemble prior(members, dim);
+  prior.init_perturbed(truth, 1.5, rng);
+
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> counts{1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+
+  std::cout << "\nThread scaling (LETKF analyze, " << n << "^2 x 2 grid, " << members
+            << " members, " << hw << " hardware threads, best of " << reps << "):\n";
+  io::Table t({"threads", "time [ms]", "speedup", "bitwise == 1 thread"});
+  double t1 = 0.0;
+  bool all_same = true;
+  da::Ensemble ref(members, dim);
+  for (std::size_t nt : counts) {
+    lc.n_threads = nt;
+    da::LETKF letkf(lc);
+    double best = 1e300;
+    da::Ensemble work(members, dim);
+    for (int rep = 0; rep < reps; ++rep) {
+      work.data() = prior.data();
+      WallTimer timer;
+      letkf.analyze(work, y, h, r);
+      best = std::min(best, timer.milliseconds());
+    }
+    if (nt == 1) {
+      t1 = best;
+      ref.data() = work.data();
+    }
+    const bool same = 0 == std::memcmp(ref.data().data(), work.data().data(),
+                                       members * dim * sizeof(double));
+    all_same = all_same && same;
+    t.add_row({std::to_string(nt), io::Table::num(best, 2), io::Table::num(t1 / best, 2),
+               same ? "yes" : "NO"});
+  }
+  t.print();
+  if (!all_same) std::cout << "ERROR: multi-threaded analysis diverged from 1 thread\n";
+  return all_same;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "bench_ablation_letkf: LETKF regularization ablations + thread scaling\n"
+                 "  --n=<int>        SQG grid size for the ablations (default 32)\n"
+                 "  --cycles=<int>   assimilation cycles per ablation run (default 25)\n"
+                 "  --scale-n=<int>  grid size for the thread-scaling section (default 48)\n"
+                 "  --members=<int>  ensemble size for the thread-scaling section (default 20)\n"
+                 "  --reps=<int>     timing repetitions per thread count (default 3)\n"
+                 "  --threads=<int>  LETKF worker threads for the ablation runs;\n"
+                 "                   0 = all hardware threads (default 0)\n"
+                 "  --no-ablations   run only the thread-scaling section\n";
+    return 0;
+  }
   bench::SqgExperimentConfig cfg;
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
   cfg.cycles = static_cast<int>(args.get_int("cycles", 25));
 
-  std::cout << "=== LETKF ablations (SQG " << cfg.n << "^2 OSSE, " << cfg.cycles
+  const bool deterministic = thread_scaling(static_cast<std::size_t>(args.get_int("scale-n", 48)),
+                                            static_cast<std::size_t>(args.get_int("members", 20)),
+                                            static_cast<int>(args.get_int("reps", 3)));
+  if (args.flag("no-ablations")) return deterministic ? 0 : 1;
+
+  std::cout << "\n=== LETKF ablations (SQG " << cfg.n << "^2 OSSE, " << cfg.cycles
             << " cycles, imperfect model) ===\n";
   bench::SqgExperiment exp(cfg);
 
@@ -25,12 +117,14 @@ int main(int argc, char** argv) {
     for (int k = k0; k < cfg.cycles; ++k) s += m[static_cast<std::size_t>(k)].rmse_post;
     return s / (cfg.cycles - k0);
   };
+  const auto n_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::cout << "\nCut-off localization radius (paper's tuned value: 2000 km):\n";
   io::Table t({"cutoff [km]", "late RMSE [K]"});
   for (double km : {500.0, 1000.0, 2000.0, 4000.0, 10000.0}) {
     da::LetkfConfig lc = exp.letkf_config();
     lc.cutoff_m = km * 1e3;
+    lc.n_threads = n_threads;
     da::LETKF letkf(lc);
     t.add_row({io::Table::num(km, 0), io::Table::num(late(exp.run(&letkf, nullptr)), 2)});
   }
@@ -41,10 +135,11 @@ int main(int argc, char** argv) {
   for (double a : {0.0, 0.15, 0.3, 0.6, 0.9}) {
     da::LetkfConfig lc = exp.letkf_config();
     lc.rtps = a;
+    lc.n_threads = n_threads;
     da::LETKF letkf(lc);
     rt.add_row({io::Table::num(a, 2), io::Table::num(late(exp.run(&letkf, nullptr)), 2)});
   }
   rt.print();
   std::cout << "\n(EnSF needs neither knob — the paper's central operational argument.)\n";
-  return 0;
+  return deterministic ? 0 : 1;
 }

@@ -13,9 +13,19 @@ using namespace turbda;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "da_comparison: EnSF vs LETKF vs global ETKF vs free run on the SQG OSSE\n"
+                 "  --n=<int>        SQG grid size (default 32)\n"
+                 "  --cycles=<int>   assimilation cycles (default 20)\n"
+                 "  --threads=<int>  analysis worker threads for EnSF/LETKF;\n"
+                 "                   0 = all hardware threads (default 0),\n"
+                 "                   results are bitwise identical for any value\n";
+    return 0;
+  }
   bench::SqgExperimentConfig cfg;
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
   cfg.cycles = static_cast<int>(args.get_int("cycles", 20));
+  const auto n_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::cout << "Filter comparison on the SQG OSSE (" << cfg.n << "^2 grid, " << cfg.cycles
             << " cycles, identity obs, R = I, 20 members, imperfect physics model)\n\n";
@@ -33,11 +43,15 @@ int main(int argc, char** argv) {
   t.add_row({"none (free run)", io::Table::num(late(exp.run(nullptr, nullptr)), 2),
              "saturates at climatology"});
 
-  da::EnSF ensf(da::EnsfConfig::stabilized());
+  da::EnsfConfig ensf_cfg = da::EnsfConfig::stabilized();
+  ensf_cfg.n_threads = n_threads;
+  da::EnSF ensf(ensf_cfg);
   t.add_row({"EnSF", io::Table::num(late(exp.run(&ensf, nullptr)), 2),
              "no localization, no tuning"});
 
-  da::LETKF letkf(exp.letkf_config());
+  da::LetkfConfig letkf_cfg = exp.letkf_config();
+  letkf_cfg.n_threads = n_threads;
+  da::LETKF letkf(letkf_cfg);
   t.add_row({"LETKF (2000 km, RTPS 0.3)", io::Table::num(late(exp.run(&letkf, nullptr)), 2),
              "paper-tuned"});
 

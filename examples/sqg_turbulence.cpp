@@ -19,6 +19,12 @@ using namespace turbda;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "sqg_turbulence: spin up the two-surface SQG model and check spectra\n"
+                 "  --n=<int>       grid size (default 64)\n"
+                 "  --days=<float>  integration length in days (default 60)\n";
+    return 0;
+  }
   sqg::SqgConfig cfg;
   cfg.n = static_cast<std::size_t>(args.get_int("n", 64));
   cfg.dt = (cfg.n <= 32) ? 1800.0 : 900.0;

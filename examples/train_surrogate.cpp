@@ -13,6 +13,13 @@ using namespace turbda;
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "train_surrogate: offline-pretrain the SQG-ViT surrogate, then probe skill\n"
+                 "  --epochs=<int>  pretraining epochs (default 25)\n"
+                 "  --pairs=<int>   transition pairs in the training set (default 96)\n"
+                 "(GEMM-bound layers use all hardware threads via the process-wide pool.)\n";
+    return 0;
+  }
   bench::SqgExperimentConfig cfg;
   cfg.n = 32;
   cfg.cycles = 12;

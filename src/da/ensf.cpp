@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/gemm.hpp"
 
 namespace turbda::da {
@@ -27,7 +28,14 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
   TURBDA_REQUIRE(y.size() == h.obs_dim() && r.dim() == h.obs_dim(),
                  "EnSF: obs vector / R dim mismatch");
 
+  // Counter-based RNG layout: one base stream per assimilation cycle for the
+  // shared draws (minibatch shuffles), plus a derived substream per analysis
+  // sample. Samples own their noise, so the member loops below parallelize
+  // with bitwise-reproducible results for any thread count (§III-A3).
   rng::Rng rng(cfg_.seed, /*stream=*/++cycle_);
+  std::vector<rng::Rng> sample_rng;
+  sample_rng.reserve(big_m);
+  for (std::size_t j = 0; j < big_m; ++j) sample_rng.push_back(rng.substream(j));
 
   // Forecast ensemble X (the score's target sample) — copied so the analysis
   // can overwrite `ens` in place.
@@ -48,9 +56,15 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
     xsq[j] = s;
   }
 
-  // Initial diffused samples: Z ~ N(0, I) at pseudo-time t = 1.
+  // Initial diffused samples: Z ~ N(0, I) at pseudo-time t = 1, each row from
+  // its sample's own substream.
   Tensor z({big_m, d});
-  rng.fill_gaussian(z.flat());
+  parallel::parallel_for(
+      big_m,
+      [&](std::size_t mb, std::size_t me) {
+        for (std::size_t mm = mb; mm < me; ++mm) sample_rng[mm].fill_gaussian(z.row(mm));
+      },
+      1, cfg_.n_threads);
 
   const std::size_t batch =
       (cfg_.minibatch > 0) ? std::min<std::size_t>(big_m, static_cast<std::size_t>(cfg_.minibatch))
@@ -67,8 +81,6 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
   Tensor xb({batch, d});  // minibatch of forecast members
   std::vector<double> xbsq(batch);
   Tensor wx({big_m, d});  // softmax(W) * X_batch
-  std::vector<double> hx(h.obs_dim()), resid(h.obs_dim()), rinv_resid(h.obs_dim());
-  std::vector<double> like_grad(d);
 
   for (int step = 0; step < n_steps; ++step) {
     // Pseudo-time runs 1 -> dt; the last update lands the samples at t = 0.
@@ -104,50 +116,65 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
 
     // logits_{mj} = -|z_m - alpha x_j|^2 / (2 beta^2); the |z_m|^2 term is
     // constant per row and drops out of the softmax.
-    logits = tensor::matmul_nt(z, *x_used);  // z x^T
-    for (std::size_t m = 0; m < big_m; ++m) {
-      auto row = logits.row(m);
-      double mx = -1e300;
-      for (std::size_t j = 0; j < batch; ++j) {
-        row[j] = (2.0 * alpha * row[j] - alpha * alpha * (*xsq_used)[j]) / (2.0 * beta_sq);
-        mx = std::max(mx, row[j]);
-      }
-      double denom = 0.0;
-      for (std::size_t j = 0; j < batch; ++j) {
-        row[j] = std::exp(row[j] - mx);
-        denom += row[j];
-      }
-      const double inv = 1.0 / denom;
-      for (std::size_t j = 0; j < batch; ++j) row[j] *= inv;
-    }
+    logits = tensor::matmul_nt(z, *x_used, cfg_.n_threads);  // z x^T
+    parallel::parallel_for(
+        big_m,
+        [&](std::size_t mb, std::size_t me) {
+          for (std::size_t m = mb; m < me; ++m) {
+            auto row = logits.row(m);
+            double mx = -1e300;
+            for (std::size_t j = 0; j < batch; ++j) {
+              row[j] = (2.0 * alpha * row[j] - alpha * alpha * (*xsq_used)[j]) / (2.0 * beta_sq);
+              mx = std::max(mx, row[j]);
+            }
+            double denom = 0.0;
+            for (std::size_t j = 0; j < batch; ++j) {
+              row[j] = std::exp(row[j] - mx);
+              denom += row[j];
+            }
+            const double inv = 1.0 / denom;
+            for (std::size_t j = 0; j < batch; ++j) row[j] *= inv;
+          }
+        },
+        1, cfg_.n_threads);
 
     // Weighted member average: wx = W X  (sum_j w_j x_j per sample).
-    wx = tensor::matmul(logits, *x_used);
+    wx = tensor::matmul(logits, *x_used, cfg_.n_threads);
 
-    // Euler–Maruyama update of each sample.
+    // Euler–Maruyama update of each sample. Samples touch only their own row
+    // of z and draw from their own substream.
     const double noise_sd = std::sqrt(std::max(sigma_sq, 0.0) * dt);
-    for (std::size_t m = 0; m < big_m; ++m) {
-      auto zm = z.row(m);
-      const auto wxm = wx.row(m);
+    parallel::parallel_for(
+        big_m,
+        [&](std::size_t mb, std::size_t me) {
+          // Chunk-local scratch for the likelihood score.
+          std::vector<double> hx(h.obs_dim()), resid(h.obs_dim()), rinv_resid(h.obs_dim());
+          std::vector<double> like_grad(d);
+          for (std::size_t m = mb; m < me; ++m) {
+            auto zm = z.row(m);
+            const auto wxm = wx.row(m);
 
-      // Likelihood score at z_m: J_h^T R^{-1} (y - h(z)).
-      h.apply(zm, hx);
-      for (std::size_t i = 0; i < hx.size(); ++i) resid[i] = y[i] - hx[i];
-      r.apply_inverse(resid, rinv_resid);
-      h.adjoint(zm, rinv_resid, like_grad);
+            // Likelihood score at z_m: J_h^T R^{-1} (y - h(z)).
+            h.apply(zm, hx);
+            for (std::size_t i = 0; i < hx.size(); ++i) resid[i] = y[i] - hx[i];
+            r.apply_inverse(resid, rinv_resid);
+            h.adjoint(zm, rinv_resid, like_grad);
 
-      for (std::size_t i = 0; i < d; ++i) {
-        // Prior score (Eq. 15): sum_j w_j = 1, so
-        //   s = -(z - alpha * sum_j w_j x_j) / beta^2.
-        const double prior_score = -(zm[i] - alpha * wxm[i]) / beta_sq;
-        // Clamp the per-step likelihood displacement: with very small R the
-        // likelihood drift is stiff and explicit Euler would blow up.
-        const double like_step = std::clamp(sigma_sq * damping * like_grad[i] * dt,
-                                            -cfg_.max_like_step, cfg_.max_like_step);
-        zm[i] += -(b_t * zm[i] - sigma_sq * prior_score) * dt + like_step +
-                 noise_sd * rng.gaussian();
-      }
-    }
+            rng::Rng& zrng = sample_rng[m];
+            for (std::size_t i = 0; i < d; ++i) {
+              // Prior score (Eq. 15): sum_j w_j = 1, so
+              //   s = -(z - alpha * sum_j w_j x_j) / beta^2.
+              const double prior_score = -(zm[i] - alpha * wxm[i]) / beta_sq;
+              // Clamp the per-step likelihood displacement: with very small R
+              // the likelihood drift is stiff and explicit Euler would blow up.
+              const double like_step = std::clamp(sigma_sq * damping * like_grad[i] * dt,
+                                                  -cfg_.max_like_step, cfg_.max_like_step);
+              zm[i] += -(b_t * zm[i] - sigma_sq * prior_score) * dt + like_step +
+                       noise_sd * zrng.gaussian();
+            }
+          }
+        },
+        1, cfg_.n_threads);
   }
 
   ens.data() = std::move(z);

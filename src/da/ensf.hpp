@@ -59,6 +59,12 @@ struct EnsfConfig {
                                      ///< EnSF ablation bench)
   std::uint64_t seed = 20240712;
 
+  /// Worker threads for the per-sample score evaluation and Euler–Maruyama
+  /// update (0 = all hardware threads via the process-wide pool, 1 = serial).
+  /// Every sample draws noise from its own counter-based Philox substream, so
+  /// the analysis is bitwise identical for any value.
+  std::size_t n_threads = 0;
+
   /// The configuration used by the paper-reproduction benches: kernel
   /// smoothing + strengthened likelihood keep 20-member ensembles stable at
   /// the observation-noise floor (EXPERIMENTS.md discusses the deviation

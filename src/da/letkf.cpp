@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "da/localization.hpp"
+#include "parallel/thread_pool.hpp"
 #include "tensor/linalg.hpp"
 
 namespace turbda::da {
@@ -120,22 +121,28 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
   // Output analysis ensemble, built column by column.
   Tensor xa({m, d});
 
-  // Per-point scratch.
-  std::vector<int> loc_obs;
-  std::vector<double> loc_rho_over_r, loc_innov;
-  Tensor cmat({m, 1});  // resized per point
-  Tensor amat({m, m}), vmat;
-  std::vector<double> evals, cd(m), wbar(m);
-  Tensor wmat({m, m});
-
   const auto nxi = static_cast<int>(cfg_.nx);
   const auto nyi = static_cast<int>(cfg_.ny);
 
-  for (std::size_t lev = 0; lev < cfg_.n_levels; ++lev) {
-    for (int gj = 0; gj < nyi; ++gj) {
-      for (int gi = 0; gi < nxi; ++gi) {
-        const std::size_t g = (lev * cfg_.ny + static_cast<std::size_t>(gj)) * cfg_.nx +
-                              static_cast<std::size_t>(gi);
+  // Each grid column's local analysis reads shared prior statistics and
+  // writes only its own column of xa, so columns are partitioned across the
+  // pool; bitwise identical for any thread count. One chunk = one worker's
+  // contiguous range of flattened cell indices, with chunk-local scratch.
+  const auto analyze_columns = [&](std::size_t g_begin, std::size_t g_end) {
+    // Per-chunk scratch (reused across this chunk's columns).
+    std::vector<int> loc_obs;
+    std::vector<double> loc_rho_over_r, loc_innov;
+    Tensor cmat({m, 1});  // resized per point
+    Tensor amat({m, m}), vmat;
+    std::vector<double> evals, cd(m), wbar(m);
+    Tensor wmat({m, m});
+
+    for (std::size_t g = g_begin; g < g_end; ++g) {
+      {
+        const std::size_t lev = g / (cfg_.nx * cfg_.ny);
+        const std::size_t rem = g % (cfg_.nx * cfg_.ny);
+        const auto gj = static_cast<int>(rem / cfg_.nx);
+        const auto gi = static_cast<int>(rem % cfg_.nx);
 
         // Gather local observations with localization weights.
         loc_obs.clear();
@@ -228,7 +235,11 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
         }
       }
     }
-  }
+  };
+
+  // Grain of one grid row keeps chunk count reasonable on small grids while
+  // leaving plenty of chunks for large ones.
+  parallel::parallel_for(d, analyze_columns, cfg_.nx, cfg_.n_threads);
 
   ens.data() = std::move(xa);
 

@@ -36,6 +36,11 @@ struct LetkfConfig {
   double mult_inflation = 1.0;    ///< optional prior multiplicative inflation
   double rossby_radius_m = 1.0e6; ///< N H / f; couples the two levels
   double min_weight = 1e-3;       ///< drop obs with localization below this
+
+  /// Worker threads for the per-column local analyses (0 = all hardware
+  /// threads via the process-wide pool, 1 = serial). Column analyses are
+  /// independent, so the result is bitwise identical for any value.
+  std::size_t n_threads = 0;
 };
 
 class LETKF final : public Filter {

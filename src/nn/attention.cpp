@@ -43,7 +43,6 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
     for (std::size_t hd = 0; hd < h_; ++hd) {
       const double* qp = q_.data() + s * t_ * c_ + hd * dh_;
       const double* kp = k_.data() + s * t_ * c_ + hd * dh_;
-      const double* vp = v_.data() + s * t_ * c_ + hd * dh_;
       double* ap = attn_.data() + (s * h_ + hd) * t_ * t_;
       // scores = scale * Q K^T  (T x T)
       gemm(Trans::No, Trans::Yes, t_, t_, dh_, scale_, qp, c_, kp, c_, 0.0, ap, t_);

@@ -43,7 +43,7 @@ class Module {
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
   /// Append pointers to all learnable parameters (stable order).
-  virtual void collect_params(std::vector<Param*>& out) {}
+  virtual void collect_params(std::vector<Param*>& /*out*/) {}
 
   /// Train/eval switch (dropout & droppath act only in training).
   virtual void set_training(bool training) { training_ = training; }

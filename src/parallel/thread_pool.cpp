@@ -4,6 +4,12 @@
 
 namespace turbda::parallel {
 
+namespace {
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(n_threads);
@@ -35,27 +41,48 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn,
-                              std::size_t min_grain) {
+                              std::size_t min_grain, std::size_t max_par) {
   if (n == 0) return;
-  const std::size_t nw = size();
-  if (nw <= 1 || n <= min_grain) {
+  std::size_t par = size() + 1;  // workers plus the calling thread
+  if (max_par != 0) par = std::min(par, max_par);
+  // Nested parallel_for from a worker runs inline: the outer loop already owns
+  // the pool, and blocking a worker on sub-tasks could deadlock the queue.
+  if (par <= 1 || n <= min_grain || in_worker()) {
     fn(0, n);
     return;
   }
-  const std::size_t chunks = std::min(nw, (n + min_grain - 1) / min_grain);
+  const std::size_t chunks = std::min(par, (n + min_grain - 1) / min_grain);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
+  futs.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t b = c * chunk;
     const std::size_t e = std::min(n, b + chunk);
     if (b >= e) break;
     futs.push_back(submit([&fn, b, e] { fn(b, e); }));
   }
-  for (auto& f : futs) f.get();
+  // The caller works on the first chunk. Always drain every future before
+  // unwinding — queued tasks reference `fn` (and whatever its closure
+  // borrows from the caller's frame), so leaving early on an exception would
+  // let workers touch a destroyed stack frame. First exception wins.
+  std::exception_ptr first_err;
+  try {
+    fn(0, std::min(n, chunk));
+  } catch (...) {
+    first_err = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_err) first_err = std::current_exception();
+    }
+  }
+  if (first_err) std::rethrow_exception(first_err);
 }
 
 void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -31,11 +31,22 @@ class ThreadPool {
   /// Enqueue a task; returns a future for its completion.
   std::future<void> submit(std::function<void()> task);
 
-  /// Run fn(begin, end) over [0, n) split into ~size() contiguous chunks and
-  /// wait for completion. Executes inline when n is small or the pool has a
-  /// single worker.
+  /// Run fn(begin, end) over [0, n) split into contiguous chunks and wait for
+  /// completion. Executes inline when n is small, the pool has a single
+  /// worker, or the caller is itself a pool worker (nested parallelism runs
+  /// serially rather than deadlocking on a full queue). `max_par` caps the
+  /// number of concurrent chunks (0 = one per worker plus the caller).
+  /// Chunk boundaries never depend on scheduling, but they do depend on the
+  /// effective parallelism (and thus on the pool size when max_par == 0):
+  /// bitwise determinism across machines and thread counts therefore requires
+  /// an fn whose per-index work is independent of the chunk partition.
+  /// If any chunk throws, all chunks are still drained and the first
+  /// exception is rethrown to the caller.
   void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
-                    std::size_t min_grain = 1);
+                    std::size_t min_grain = 1, std::size_t max_par = 0);
+
+  /// True when called from one of this process's pool worker threads.
+  [[nodiscard]] static bool in_worker();
 
  private:
   void worker_loop();
@@ -52,8 +63,8 @@ ThreadPool& global_pool();
 
 /// Convenience wrapper over global_pool().parallel_for.
 inline void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
-                         std::size_t min_grain = 1) {
-  global_pool().parallel_for(n, fn, min_grain);
+                         std::size_t min_grain = 1, std::size_t max_par = 0) {
+  global_pool().parallel_for(n, fn, min_grain, max_par);
 }
 
 }  // namespace turbda::parallel

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace turbda::tensor {
 
@@ -14,6 +15,12 @@ namespace {
 constexpr std::size_t kMc = 64;
 constexpr std::size_t kNc = 256;
 constexpr std::size_t kKc = 128;
+
+// Row-parallelization thresholds: below kParFlops the kernel runs serially
+// (fork/join overhead dominates); each worker gets at least kParMinRows rows
+// so the duplicated B-tile packing amortizes.
+constexpr std::size_t kParFlops = std::size_t{1} << 20;
+constexpr std::size_t kParMinRows = 16;
 
 /// Packs op(A) tile [i0,i1) x [k0,k1) into row-major contiguous storage.
 void pack_a(Trans ta, const double* a, std::size_t lda, std::size_t i0, std::size_t i1,
@@ -51,19 +58,20 @@ void pack_b(Trans tb, const double* b, std::size_t ldb, std::size_t k0, std::siz
   }
 }
 
-}  // namespace
-
-void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
-          const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
-          double* c, std::size_t ldc) {
+/// Serial blocked kernel restricted to output rows [r0, r1). Per element
+/// C(i, j) the accumulation order over k is fixed (ascending k-blocks, then
+/// ascending kk), so any row partition produces bitwise-identical results.
+void gemm_rows(Trans ta, Trans tb, std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+               double alpha, const double* a, std::size_t lda, const double* b, std::size_t ldb,
+               double beta, double* c, std::size_t ldc) {
   // Scale C by beta first.
   if (beta == 0.0) {
-    for (std::size_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0);
+    for (std::size_t i = r0; i < r1; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.0);
   } else if (beta != 1.0) {
-    for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t i = r0; i < r1; ++i)
       for (std::size_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
   }
-  if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
+  if (alpha == 0.0 || r0 >= r1 || n == 0 || k == 0) return;
 
   std::vector<double> pa(kMc * kKc), pb(kKc * kNc);
   for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
@@ -72,8 +80,8 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, doubl
       const std::size_t j1 = std::min(n, j0 + kNc);
       pack_b(tb, b, ldb, k0, k1, j0, j1, pb.data());
       const std::size_t jw = j1 - j0;
-      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
-        const std::size_t i1 = std::min(m, i0 + kMc);
+      for (std::size_t i0 = r0; i0 < r1; i0 += kMc) {
+        const std::size_t i1 = std::min(r1, i0 + kMc);
         pack_a(ta, a, lda, i0, i1, k0, k1, pa.data());
         const std::size_t kw = k1 - k0;
         // Micro-kernel: rank-kw update of the C tile; innermost loop over j
@@ -92,8 +100,30 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, doubl
   }
 }
 
+}  // namespace
+
+void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
+          const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
+          double* c, std::size_t ldc, std::size_t max_threads) {
+  if (m == 0) return;
+  // Disjoint row ranges: workers share nothing but read-only A/B, and the
+  // per-element FP order is partition-invariant (see gemm_rows), so the
+  // result is bitwise independent of the thread count.
+  if (max_threads != 1 && 2 * m * n * k >= kParFlops && m >= 2 * kParMinRows) {
+    parallel::parallel_for(
+        m,
+        [&](std::size_t r0, std::size_t r1) {
+          gemm_rows(ta, tb, r0, r1, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+        },
+        kParMinRows, max_threads);
+    return;
+  }
+  gemm_rows(ta, tb, 0, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
 namespace {
-Tensor matmul_impl(Trans ta, Trans tb, const Tensor& a, const Tensor& b) {
+Tensor matmul_impl(Trans ta, Trans tb, const Tensor& a, const Tensor& b,
+                   std::size_t max_threads) {
   TURBDA_REQUIRE(a.rank() == 2 && b.rank() == 2, "matmul needs rank-2 tensors");
   const std::size_t m = (ta == Trans::No) ? a.extent(0) : a.extent(1);
   const std::size_t ka = (ta == Trans::No) ? a.extent(1) : a.extent(0);
@@ -101,17 +131,20 @@ Tensor matmul_impl(Trans ta, Trans tb, const Tensor& a, const Tensor& b) {
   const std::size_t n = (tb == Trans::No) ? b.extent(1) : b.extent(0);
   TURBDA_REQUIRE(ka == kb, "matmul: inner dimensions differ (" << ka << " vs " << kb << ")");
   Tensor out({m, n});
-  gemm(ta, tb, m, n, ka, 1.0, a.data(), a.extent(1), b.data(), b.extent(1), 0.0, out.data(), n);
+  gemm(ta, tb, m, n, ka, 1.0, a.data(), a.extent(1), b.data(), b.extent(1), 0.0, out.data(), n,
+       max_threads);
   return out;
 }
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) { return matmul_impl(Trans::No, Trans::No, a, b); }
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  return matmul_impl(Trans::Yes, Trans::No, a, b);
+Tensor matmul(const Tensor& a, const Tensor& b, std::size_t max_threads) {
+  return matmul_impl(Trans::No, Trans::No, a, b, max_threads);
 }
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  return matmul_impl(Trans::No, Trans::Yes, a, b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b, std::size_t max_threads) {
+  return matmul_impl(Trans::Yes, Trans::No, a, b, max_threads);
+}
+Tensor matmul_nt(const Tensor& a, const Tensor& b, std::size_t max_threads) {
+  return matmul_impl(Trans::No, Trans::Yes, a, b, max_threads);
 }
 
 Tensor matvec(const Tensor& a, const Tensor& x) {

@@ -17,18 +17,21 @@ enum class Trans { No, Yes };
 /// C = alpha * op(A) * op(B) + beta * C, row-major.
 /// op(A) is M x K, op(B) is K x N, C is M x N.
 /// lda/ldb/ldc are the leading (row) strides of the *stored* matrices.
+/// Large products split output rows across the process-wide thread pool with
+/// a bitwise partition-invariant accumulation order; `max_threads` caps the
+/// workers (0 = all, 1 = serial).
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
           const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
-          double* c, std::size_t ldc);
+          double* c, std::size_t ldc, std::size_t max_threads = 0);
 
 /// C = A * B for rank-2 tensors (convenience wrapper).
-[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b, std::size_t max_threads = 0);
 
 /// C = A^T * B.
-[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b, std::size_t max_threads = 0);
 
 /// C = A * B^T.
-[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b, std::size_t max_threads = 0);
 
 /// y = A * x (rank-2 times rank-1).
 [[nodiscard]] Tensor matvec(const Tensor& a, const Tensor& x);

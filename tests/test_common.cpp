@@ -47,7 +47,7 @@ TEST(MathUtils, VectorOps) {
 
 TEST(MathUtils, RmsOfEmptyThrows) {
   std::vector<double> empty;
-  EXPECT_THROW(rms(empty), Error);
+  EXPECT_THROW((void)rms(empty), Error);
 }
 
 TEST(Timer, MeasuresElapsedTime) {
