@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   cfg.n = static_cast<std::size_t>(args.get_int("n", static_cast<long>(cfg.n)));
   cfg.cycles = static_cast<int>(args.get_int("cycles", cfg.cycles));
   cfg.clim_init = args.flag("clim-init");
+  // Member-parallel SQG forecasts (0 = all pool workers, 1 = serial);
+  // bitwise identical for any value.
+  cfg.forecast_threads = static_cast<std::size_t>(args.get_int("forecast-threads", 0));
 
   std::cout << "=== Fig. 4: RMSE of the four test cases (SQG " << cfg.n << "x" << cfg.n
             << "x2, " << cfg.cycles << " cycles, 12 h windows, R = I, 20 members) ===\n";

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   bench::SqgExperimentConfig cfg;
   cfg.cycles = static_cast<int>(args.get_int("cycles", 30));
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
+  cfg.forecast_threads = static_cast<std::size_t>(args.get_int("forecast-threads", 0));
   if (args.flag("full")) {
     cfg.n = 64;
     cfg.cycles = 300;

@@ -1,0 +1,202 @@
+// SQG forecast hot-path bench: times the real-FFT pair, the spectral
+// tendency, and the full RK4 step at n = 64/128/256 across thread counts,
+// plus a member-parallel ensemble forecast (the paper's throughput axis).
+// Emits a machine-readable BENCH_sqg.json so later PRs can track the perf
+// trajectory, and verifies that every multi-threaded result is bitwise
+// identical to the single-threaded one.
+//
+//   build/bench_sqg_step [--sizes=64,128,256] [--threads=1,2,4]
+//                        [--members=20] [--reps=3] [--json=BENCH_sqg.json]
+//                        [--smoke]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "sqg/sqg.hpp"
+
+using namespace turbda;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ','))
+    if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  return out;
+}
+
+/// Best-of-`reps` wall time of fn(), each rep running `iters` iterations.
+template <class F>
+double best_ms(int reps, int iters, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, ms_since(t0) / iters);
+  }
+  return best;
+}
+
+struct Result {
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  double fft_pair_ms = 0.0;
+  double tendency_ms = 0.0;
+  double step_ms = 0.0;
+  double ens_ms = 0.0;
+  bool bitwise = true;
+};
+
+sqg::SqgConfig model_config(std::size_t n, std::size_t fft_threads) {
+  sqg::SqgConfig cfg;
+  cfg.n = n;
+  cfg.dt = 900.0;
+  cfg.n_fft_threads = fft_threads;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "bench_sqg_step: SQG spectral-core timings (FFT / tendency / RK4 / ensemble)\n"
+                 "  --sizes=<csv>    grid sizes (default 64,128,256)\n"
+                 "  --threads=<csv>  thread counts for FFT + ensemble scaling (default 1,2,4)\n"
+                 "  --members=<int>  ensemble size for the forecast timing (default 20)\n"
+                 "  --reps=<int>     best-of repetitions (default 3)\n"
+                 "  --json=<path>    machine-readable output (default BENCH_sqg.json)\n"
+                 "  --smoke          small fast configuration for CI\n";
+    return 0;
+  }
+  const bool smoke = args.flag("smoke");
+  auto sizes = parse_list(args.get_str("sizes", smoke ? "32,64" : "64,128,256"));
+  auto threads = parse_list(args.get_str("threads", smoke ? "1,2" : "1,2,4"));
+  const auto members = static_cast<std::size_t>(args.get_int("members", smoke ? 6 : 20));
+  const int reps = static_cast<int>(args.get_int("reps", smoke ? 1 : 3));
+  const std::string json_path = args.get_str("json", "BENCH_sqg.json");
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::cout << "=== SQG forecast hot path (" << hw << " hardware threads, best of " << reps
+            << ", " << members << "-member ensemble) ===\n\n";
+
+  std::vector<Result> results;
+  for (const std::size_t n : sizes) {
+    const std::size_t nn = n * n;
+    const int fft_iters = smoke ? 20 : ((n >= 256) ? 50 : 200);
+    const int ten_iters = smoke ? 5 : ((n >= 256) ? 10 : 40);
+    const int step_iters = smoke ? 2 : ((n >= 256) ? 5 : 20);
+
+    // Serial (1-thread) reference for the bitwise cross-thread check — run
+    // unconditionally so the claim holds even when 1 is not in --threads.
+    std::vector<double> theta;
+    std::vector<std::vector<double>> ref_members(members);
+    {
+      sqg::SqgModel ref_model(model_config(n, 1));
+      rng::Rng rng(2024 + n);
+      theta.resize(ref_model.dim());
+      ref_model.random_init(theta, rng, 1.0, 4);
+      sqg::SqgWorkspace ws(n);
+      for (std::size_t m = 0; m < members; ++m) {
+        ref_members[m] = theta;
+        ref_model.step(ref_members[m], 1, ws);
+      }
+    }
+
+    for (const std::size_t nt : threads) {
+      sqg::SqgModel model(model_config(n, nt));
+      sqg::SqgWorkspace ws(n);
+
+      Result res;
+      res.n = n;
+      res.threads = nt;
+
+      // Real-FFT pair on one level.
+      fft::Fft2D fft(n, n);
+      fft.set_max_threads(nt);
+      std::vector<double> grid(theta.begin(), theta.begin() + static_cast<long>(nn));
+      std::vector<fft::Cplx> spec(nn);
+      res.fft_pair_ms = best_ms(reps, fft_iters, [&] {
+        fft.forward_real(grid, spec);
+        fft.inverse_real(spec, grid);
+      });
+
+      // Spectral tendency (the RK4 inner kernel).
+      std::vector<fft::Cplx> tspec(model.dim()), tout(model.dim());
+      model.to_spectral(theta, tspec);
+      res.tendency_ms = best_ms(reps, ten_iters, [&] { model.tendency(tspec, tout, ws); });
+
+      // Full RK4 step.
+      {
+        std::vector<double> state = theta;
+        model.step(state, 1, ws);  // warm up
+        res.step_ms = best_ms(reps, 1, [&] { state = theta; model.step(state, step_iters, ws); }) /
+                      step_iters;
+      }
+
+      // Member-parallel ensemble forecast: `members` independent states, one
+      // RK4 step each, fanned out over the pool with max_par = nt.
+      std::vector<std::vector<double>> states(members);
+      res.ens_ms = best_ms(reps, 1, [&] {
+        for (std::size_t m = 0; m < members; ++m) states[m] = theta;
+        parallel::parallel_for(
+            members,
+            [&](std::size_t b, std::size_t e) {
+              for (std::size_t m = b; m < e; ++m)
+                model.step(states[m], 1, sqg::tls_workspace(n));
+            },
+            /*min_grain=*/1, nt);
+      });
+      for (std::size_t m = 0; m < members; ++m)
+        res.bitwise = res.bitwise && std::memcmp(states[m].data(), ref_members[m].data(),
+                                                 states[m].size() * sizeof(double)) == 0;
+      results.push_back(res);
+    }
+  }
+
+  io::Table t({"n", "threads", "fft pair [ms]", "tendency [ms]", "RK4 step [ms]",
+               "ens fcst [ms]", "bitwise == t1"});
+  for (const auto& r : results) {
+    t.add_row({std::to_string(r.n), std::to_string(r.threads), io::Table::num(r.fft_pair_ms, 3),
+               io::Table::num(r.tendency_ms, 3), io::Table::num(r.step_ms, 3),
+               io::Table::num(r.ens_ms, 3), r.bitwise ? "yes" : "NO"});
+  }
+  t.print();
+
+  bool all_bitwise = true;
+  for (const auto& r : results) all_bitwise = all_bitwise && r.bitwise;
+  std::cout << "\nMulti-threaded results bitwise identical to 1 thread: "
+            << (all_bitwise ? "yes" : "NO") << "\n";
+
+  std::ofstream js(json_path);
+  js << "{\n  \"bench\": \"sqg_step\",\n  \"hardware_threads\": " << hw
+     << ",\n  \"members\": " << members << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    js << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+       << ", \"fft_pair_ms\": " << r.fft_pair_ms << ", \"tendency_ms\": " << r.tendency_ms
+       << ", \"rk4_step_ms\": " << r.step_ms << ", \"ens_forecast_ms\": " << r.ens_ms
+       << ", \"bitwise_vs_t1\": " << (r.bitwise ? "true" : "false") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  std::cout << "Machine-readable timings written to " << json_path << ".\n";
+  return all_bitwise ? 0 : 1;
+}

@@ -19,12 +19,15 @@ int main(int argc, char** argv) {
                  "  --cycles=<int>   assimilation cycles (default 20)\n"
                  "  --threads=<int>  analysis worker threads for EnSF/LETKF;\n"
                  "                   0 = all hardware threads (default 0),\n"
-                 "                   results are bitwise identical for any value\n";
+                 "                   results are bitwise identical for any value\n"
+                 "  --forecast-threads=<int>  member-parallel SQG forecasts\n"
+                 "                   (0 = all, 1 = serial; bitwise identical)\n";
     return 0;
   }
   bench::SqgExperimentConfig cfg;
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
   cfg.cycles = static_cast<int>(args.get_int("cycles", 20));
+  cfg.forecast_threads = static_cast<std::size_t>(args.get_int("forecast-threads", 0));
   const auto n_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   std::cout << "Filter comparison on the SQG OSSE (" << cfg.n << "^2 grid, " << cfg.cycles

@@ -1,6 +1,7 @@
 #include "da/osse.hpp"
 
 #include "common/check.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace turbda::da {
 
@@ -64,7 +65,11 @@ std::vector<CycleMetrics> OsseRunner::run(std::span<const double> truth0,
       rng::Rng r_me = rng_modelerr.substream(static_cast<std::uint64_t>(k));
       shared_err = model_error_->sample(d, r_me);
     }
-    for (std::size_t m = 0; m < cfg_.n_members; ++m) {
+    // Member forecasts are independent (disjoint state rows, per-member
+    // counter-based error substreams), so fan them out over the pool when
+    // the model supports concurrent stepping — bitwise identical to the
+    // serial loop for any thread count.
+    auto forecast_member = [&](std::size_t m) {
       forecast_model_.forecast(ens_->member(m));
       if (cfg_.inject_model_error) {
         if (cfg_.model_error_shared) {
@@ -76,6 +81,16 @@ std::vector<CycleMetrics> OsseRunner::run(std::span<const double> truth0,
           model_error_->apply(ens_->member(m), r_me);
         }
       }
+    };
+    if (forecast_model_.concurrent_safe() && cfg_.n_forecast_threads != 1) {
+      parallel::parallel_for(
+          cfg_.n_members,
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t m = b; m < e; ++m) forecast_member(m);
+          },
+          /*min_grain=*/1, cfg_.n_forecast_threads);
+    } else {
+      for (std::size_t m = 0; m < cfg_.n_members; ++m) forecast_member(m);
     }
 
     CycleMetrics cm;

@@ -37,6 +37,12 @@ struct OsseConfig {
   /// the failure mode that degrades LETKF in Fig. 4); when false, each
   /// member draws independently.
   bool model_error_shared = true;
+  /// Worker threads for the per-member forecast loop: 0 = all pool workers
+  /// (default), 1 = serial. Only honored when the forecast model reports
+  /// concurrent_safe(); members are disjoint and per-member model-error
+  /// noise comes from counter-based substreams, so results are bitwise
+  /// identical for any thread count.
+  std::size_t n_forecast_threads = 0;
 };
 
 /// Hook invoked after each analysis with (cycle index, analysis-mean state);

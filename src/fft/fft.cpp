@@ -1,10 +1,16 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/math_utils.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace turbda::fft {
+
+// ---------------------------------------------------------------------------
+// Fft1D
+// ---------------------------------------------------------------------------
 
 Fft1D::Fft1D(std::size_t n) : n_(n) {
   TURBDA_REQUIRE(is_pow2(n), "FFT length must be a power of two, got " << n);
@@ -15,12 +21,20 @@ Fft1D::Fft1D(std::size_t n) : n_(n) {
     for (int b = 0; b < log2n_; ++b) r |= ((i >> b) & 1u) << (log2n_ - 1 - b);
     bitrev_[i] = r;
   }
-  twiddle_fwd_.resize(n / 2);
-  twiddle_inv_.resize(n / 2);
-  for (std::size_t k = 0; k < n / 2; ++k) {
-    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
-    twiddle_fwd_[k] = Cplx(std::cos(ang), std::sin(ang));
-    twiddle_inv_[k] = std::conj(twiddle_fwd_[k]);
+  stage_fwd_.resize(static_cast<std::size_t>(log2n_) + 1);
+  stage_inv_.resize(static_cast<std::size_t>(log2n_) + 1);
+  for (int s = 3; s <= log2n_; ++s) {
+    const std::size_t len = std::size_t{1} << s;
+    const std::size_t half = len / 2;
+    auto& fwd = stage_fwd_[static_cast<std::size_t>(s)];
+    auto& inv = stage_inv_[static_cast<std::size_t>(s)];
+    fwd.resize(half);
+    inv.resize(half);
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(len);
+      fwd[k] = Cplx(std::cos(ang), std::sin(ang));
+      inv[k] = std::conj(fwd[k]);
+    }
   }
 }
 
@@ -32,17 +46,41 @@ void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-  const auto& tw = inverse ? twiddle_inv_ : twiddle_fwd_;
-  for (std::size_t len = 2; len <= n_; len <<= 1) {
+  // Stage len = 2: twiddle is exactly 1.
+  for (std::size_t base = 0; base < n_; base += 2) {
+    const Cplx u = x[base];
+    const Cplx t = x[base + 1];
+    x[base] = u + t;
+    x[base + 1] = u - t;
+  }
+  // Stage len = 4: twiddles are exactly 1 and -i (forward) / +i (inverse).
+  if (n_ >= 4) {
+    for (std::size_t base = 0; base < n_; base += 4) {
+      const Cplx u0 = x[base];
+      const Cplx t0 = x[base + 2];
+      x[base] = u0 + t0;
+      x[base + 2] = u0 - t0;
+      const Cplx u1 = x[base + 1];
+      const Cplx v = x[base + 3];
+      const Cplx t1 = inverse ? Cplx(-v.imag(), v.real()) : Cplx(v.imag(), -v.real());
+      x[base + 1] = u1 + t1;
+      x[base + 3] = u1 - t1;
+    }
+  }
+  // General stages: contiguous per-stage twiddle tables.
+  const auto& stages = inverse ? stage_inv_ : stage_fwd_;
+  for (int s = 3; s <= log2n_; ++s) {
+    const std::size_t len = std::size_t{1} << s;
     const std::size_t half = len / 2;
-    const std::size_t step = n_ / len;  // twiddle stride
+    const Cplx* tw = stages[static_cast<std::size_t>(s)].data();
     for (std::size_t base = 0; base < n_; base += len) {
+      Cplx* lo = x.data() + base;
+      Cplx* hi = lo + half;
       for (std::size_t k = 0; k < half; ++k) {
-        const Cplx w = tw[k * step];
-        const Cplx u = x[base + k];
-        const Cplx t = w * x[base + k + half];
-        x[base + k] = u + t;
-        x[base + k + half] = u - t;
+        const Cplx u = lo[k];
+        const Cplx t = tw[k] * hi[k];
+        lo[k] = u + t;
+        hi[k] = u - t;
       }
     }
   }
@@ -52,48 +90,243 @@ void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
   }
 }
 
-Fft2D::Fft2D(std::size_t n0, std::size_t n1) : n0_(n0), n1_(n1), row_(n1), col_(n0) {}
+// ---------------------------------------------------------------------------
+// Rfft1D — r2c/c2r via one half-length complex FFT plus Hermitian packing.
+//
+// Forward: pack z[j] = x[2j] + i x[2j+1], FFT to Z[k], then split Z into the
+// transforms E, O of the even/odd samples (E[k] = (Z[k] + conj(Z[h-k]))/2,
+// O[k] = -i (Z[k] - conj(Z[h-k]))/2) and combine X[k] = E[k] + w^k O[k],
+// X[h-k] = conj(E[k] - w^k O[k]) with w = exp(-2πi/n). Inverse runs the same
+// algebra backwards.
+// ---------------------------------------------------------------------------
 
 namespace {
-void columns(std::span<Cplx> x, std::size_t n0, std::size_t n1, const Fft1D& plan, bool inverse) {
-  std::vector<Cplx> tmp(n0);
-  for (std::size_t j = 0; j < n1; ++j) {
-    for (std::size_t i = 0; i < n0; ++i) tmp[i] = x[i * n1 + j];
-    if (inverse) {
-      plan.inverse(tmp);
-    } else {
-      plan.forward(tmp);
-    }
-    for (std::size_t i = 0; i < n0; ++i) x[i * n1 + j] = tmp[i];
-  }
+/// Validates the real-transform length before the half plan is built, so a
+/// bad size is reported as the length the caller passed (not n/2).
+std::size_t rfft_half_length(std::size_t n) {
+  TURBDA_REQUIRE(n >= 2 && is_pow2(n),
+                 "real FFT length must be an even power of two (>= 2), got " << n);
+  return n / 2;
 }
 }  // namespace
 
+Rfft1D::Rfft1D(std::size_t n) : n_(n), h_(n / 2), half_(rfft_half_length(n)) {
+  w_.resize(h_ / 2 + 1);
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    const double ang = -kTwoPi * static_cast<double>(k) / static_cast<double>(n);
+    w_[k] = Cplx(std::cos(ang), std::sin(ang));
+  }
+}
+
+void Rfft1D::forward(std::span<const double> x, std::span<Cplx> spec) const {
+  TURBDA_REQUIRE(x.size() == n_ && spec.size() >= spec_size(),
+                 "rfft forward: bad buffer sizes (" << x.size() << ", " << spec.size() << ")");
+  const std::size_t h = h_;
+  for (std::size_t j = 0; j < h; ++j) spec[j] = Cplx(x[2 * j], x[2 * j + 1]);
+  half_.forward(spec.first(h));
+  const Cplx z0 = spec[0];
+  spec[0] = Cplx(z0.real() + z0.imag(), 0.0);
+  const Cplx dc_mirror(z0.real() - z0.imag(), 0.0);
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kc = h - k;
+    const Cplx zk = spec[k];
+    const Cplx zc = std::conj(spec[kc]);
+    const Cplx e = 0.5 * (zk + zc);
+    const Cplx o = Cplx(0.0, -0.5) * (zk - zc);
+    const Cplx t = w_[k] * o;
+    spec[k] = e + t;
+    spec[kc] = std::conj(e - t);
+  }
+  if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);  // w^(h/2) = -i, exactly
+  spec[h] = dc_mirror;
+}
+
+void Rfft1D::inverse_inplace(std::span<Cplx> spec, std::span<double> x) const {
+  TURBDA_REQUIRE(x.size() == n_ && spec.size() >= spec_size(),
+                 "rfft inverse: bad buffer sizes (" << x.size() << ", " << spec.size() << ")");
+  const std::size_t h = h_;
+  const double e0 = spec[0].real();
+  const double eh = spec[h].real();
+  spec[0] = Cplx(0.5 * (e0 + eh), 0.5 * (e0 - eh));
+  for (std::size_t k = 1; k < h - k; ++k) {
+    const std::size_t kc = h - k;
+    const Cplx a = spec[k];
+    const Cplx b = std::conj(spec[kc]);
+    const Cplx e = 0.5 * (a + b);
+    const Cplx ot = 0.5 * (a - b);  // = w^k O[k]
+    const Cplx o = std::conj(w_[k]) * ot;
+    const Cplx oc = w_[k] * std::conj(ot);  // O at the mirror bin
+    spec[k] = e + Cplx(-o.imag(), o.real());
+    spec[kc] = std::conj(e) + Cplx(-oc.imag(), oc.real());
+  }
+  if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);
+  half_.inverse(spec.first(h));
+  for (std::size_t j = 0; j < h; ++j) {
+    x[2 * j] = spec[j].real();
+    x[2 * j + 1] = spec[j].imag();
+  }
+}
+
+void Rfft1D::inverse(std::span<const Cplx> spec, std::span<double> x) const {
+  thread_local std::vector<Cplx> scratch;
+  if (scratch.size() < spec_size()) scratch.resize(spec_size());
+  std::copy(spec.begin(), spec.begin() + static_cast<long>(spec_size()), scratch.begin());
+  inverse_inplace(std::span<Cplx>(scratch.data(), spec_size()), x);
+}
+
+// ---------------------------------------------------------------------------
+// Fft2D — rows, cache-blocked transpose, batched contiguous column
+// transforms, transpose back. Scratch is per-thread and grown on demand, so
+// plans stay immutable and shareable across threads.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kTransposeBlock = 32;  // 16 KiB src + 16 KiB dst tiles
+
+/// Transposes `src` (r x c, row stride `ls`) into dense `dst` (c x r).
+void transpose_blocked(const Cplx* src, std::size_t ls, Cplx* dst, std::size_t r, std::size_t c) {
+  for (std::size_t i0 = 0; i0 < r; i0 += kTransposeBlock) {
+    const std::size_t i1 = std::min(r, i0 + kTransposeBlock);
+    for (std::size_t j0 = 0; j0 < c; j0 += kTransposeBlock) {
+      const std::size_t j1 = std::min(c, j0 + kTransposeBlock);
+      for (std::size_t i = i0; i < i1; ++i)
+        for (std::size_t j = j0; j < j1; ++j) dst[j * r + i] = src[i * ls + j];
+    }
+  }
+}
+
+bool all_zero(const Cplx* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (p[i].real() != 0.0 || p[i].imag() != 0.0) return false;
+  return true;
+}
+
+/// Runs fn(begin, end) over [0, n): inline when serial — skipping the
+/// std::function round trip of parallel_for on the default single-thread
+/// path — and fanned out over the pool otherwise. Fan-out is bitwise
+/// partition-invariant for all callers here: rows are disjoint and each
+/// row's result depends only on its own data.
+template <class F>
+void run_partitioned(std::size_t n, std::size_t min_grain, std::size_t max_par, F&& fn) {
+  if (max_par == 1) {
+    fn(std::size_t{0}, n);
+  } else {
+    parallel::parallel_for(n, fn, min_grain, max_par);
+  }
+}
+
+/// Transforms `count` contiguous rows of length `len`, skipping all-zero rows
+/// (a transform of zeros is zeros; the SQG tendency inverts dealiased spectra
+/// whose outer third of rows vanishes identically).
+void batch_transform(Cplx* data, std::size_t count, std::size_t len, const Fft1D& plan,
+                     bool inverse, std::size_t max_par) {
+  if (count * len < 2048) max_par = 1;  // fork/join would dominate
+  run_partitioned(count, /*min_grain=*/4, max_par, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      Cplx* row = data + i * len;
+      if (all_zero(row, len)) continue;
+      std::span<Cplx> s(row, len);
+      if (inverse) {
+        plan.inverse(s);
+      } else {
+        plan.forward(s);
+      }
+    }
+  });
+}
+
+/// Two per-thread scratch arenas (a 2-D transform needs at most two live
+/// buffers). References stay valid across nested use because the slots are
+/// distinct vectors.
+std::vector<Cplx>& tls_buffer(int slot, std::size_t n) {
+  thread_local std::vector<Cplx> bufs[2];
+  auto& b = bufs[slot];
+  if (b.size() < n) b.resize(n);
+  return b;
+}
+
+}  // namespace
+
+Fft2D::Fft2D(std::size_t n0, std::size_t n1) : n0_(n0), n1_(n1), row_(n1), col_(n0) {
+  if (n1_ >= 2) rrow_.emplace(n1_);
+}
+
+void Fft2D::transform2d(std::span<Cplx> x, bool inverse) const {
+  batch_transform(x.data(), n0_, n1_, row_, inverse, threads_);
+  auto& t = tls_buffer(0, n0_ * n1_);
+  transpose_blocked(x.data(), n1_, t.data(), n0_, n1_);
+  batch_transform(t.data(), n1_, n0_, col_, inverse, threads_);
+  transpose_blocked(t.data(), n0_, x.data(), n1_, n0_);
+}
+
 void Fft2D::forward(std::span<Cplx> x) const {
   TURBDA_REQUIRE(x.size() == n0_ * n1_, "Fft2D::forward: wrong buffer size");
-  for (std::size_t i = 0; i < n0_; ++i) row_.forward(x.subspan(i * n1_, n1_));
-  columns(x, n0_, n1_, col_, /*inverse=*/false);
+  transform2d(x, /*inverse=*/false);
 }
 
 void Fft2D::inverse(std::span<Cplx> x) const {
   TURBDA_REQUIRE(x.size() == n0_ * n1_, "Fft2D::inverse: wrong buffer size");
-  for (std::size_t i = 0; i < n0_; ++i) row_.inverse(x.subspan(i * n1_, n1_));
-  columns(x, n0_, n1_, col_, /*inverse=*/true);
+  transform2d(x, /*inverse=*/true);
 }
 
 void Fft2D::forward_real(std::span<const double> grid, std::span<Cplx> spec) const {
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
                  "forward_real: wrong buffer sizes");
-  for (std::size_t i = 0; i < grid.size(); ++i) spec[i] = Cplx(grid[i], 0.0);
-  forward(spec);
+  if (!rrow_) {  // n1 == 1: nothing to halve along rows
+    for (std::size_t i = 0; i < grid.size(); ++i) spec[i] = Cplx(grid[i], 0.0);
+    transform2d(spec, /*inverse=*/false);
+    return;
+  }
+  const std::size_t nh = n1_ / 2 + 1;
+  auto& hbuf = tls_buffer(0, n0_ * nh);  // half-spectrum rows, n0 x nh
+  auto& tbuf = tls_buffer(1, nh * n0_);  // transposed, nh x n0
+
+  run_partitioned(n0_, /*min_grain=*/4, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      rrow_->forward(grid.subspan(i * n1_, n1_), std::span<Cplx>(hbuf.data() + i * nh, nh));
+  });
+
+  transpose_blocked(hbuf.data(), nh, tbuf.data(), n0_, nh);
+  batch_transform(tbuf.data(), nh, n0_, col_, /*inverse=*/false, threads_);
+  transpose_blocked(tbuf.data(), n0_, hbuf.data(), nh, n0_);
+
+  // Expand the half spectrum to the full Hermitian-redundant layout:
+  // spec[i][j] = conj(spec[(n0-i) mod n0][n1-j]) for the mirrored columns.
+  run_partitioned(n0_, /*min_grain=*/8, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const Cplx* hrow = hbuf.data() + i * nh;
+      Cplx* srow = spec.data() + i * n1_;
+      std::copy(hrow, hrow + nh, srow);
+      const Cplx* mrow = hbuf.data() + ((n0_ - i) % n0_) * nh;
+      for (std::size_t j = nh; j < n1_; ++j) srow[j] = std::conj(mrow[n1_ - j]);
+    }
+  });
 }
 
 void Fft2D::inverse_real(std::span<const Cplx> spec, std::span<double> grid) const {
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
                  "inverse_real: wrong buffer sizes");
-  std::vector<Cplx> tmp(spec.begin(), spec.end());
-  inverse(tmp);
-  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = tmp[i].real();
+  if (!rrow_) {
+    auto& tmp = tls_buffer(1, n0_ * n1_);
+    std::copy(spec.begin(), spec.end(), tmp.begin());
+    transform2d(std::span<Cplx>(tmp.data(), n0_ * n1_), /*inverse=*/true);
+    for (std::size_t i = 0; i < grid.size(); ++i) grid[i] = tmp[i].real();
+    return;
+  }
+  const std::size_t nh = n1_ / 2 + 1;
+  auto& tbuf = tls_buffer(1, nh * n0_);
+  // Gather the non-redundant columns 0..n1/2 directly into transposed layout.
+  transpose_blocked(spec.data(), n1_, tbuf.data(), n0_, nh);
+  batch_transform(tbuf.data(), nh, n0_, col_, /*inverse=*/true, threads_);
+  auto& hbuf = tls_buffer(0, n0_ * nh);
+  transpose_blocked(tbuf.data(), n0_, hbuf.data(), nh, n0_);
+
+  run_partitioned(n0_, /*min_grain=*/4, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      rrow_->inverse_inplace(std::span<Cplx>(hbuf.data() + i * nh, nh),
+                             grid.subspan(i * n1_, n1_));
+  });
 }
 
 }  // namespace turbda::fft

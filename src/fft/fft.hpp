@@ -1,13 +1,20 @@
 // Fast Fourier transforms for the spectral SQG solver.
 //
-// Iterative radix-2 Cooley–Tukey with precomputed twiddles (power-of-two
-// sizes; the paper's grids are 64, 128, 256). 2-D transforms run rows then
-// columns. Convention matches numpy: forward unnormalized, inverse carries
-// the 1/N factor — so does the sqgturb reference implementation the paper
-// follows.
+// Iterative radix-2 Cooley–Tukey with per-stage contiguous twiddle tables and
+// specialized length-2/4 stages (power-of-two sizes; the paper's grids are
+// 64, 128, 256). Real grids go through a half-spectrum real transform
+// (Rfft1D): an n-point r2c/c2r costs one n/2-point complex FFT plus an O(n)
+// Hermitian (un)packing pass — half the flops and memory traffic of the
+// complex round trip. 2-D transforms run rows, a cache-blocked transpose,
+// batched contiguous "column" transforms, and a transpose back; the row and
+// column batches are disjoint, so they optionally fan out over the process
+// thread pool with bitwise thread-count-invariant results. Convention
+// matches numpy: forward unnormalized, inverse carries the 1/N factor — so
+// does the sqgturb reference implementation the paper follows.
 #pragma once
 
 #include <complex>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -17,7 +24,7 @@ namespace turbda::fft {
 
 using Cplx = std::complex<double>;
 
-/// 1-D FFT plan of fixed power-of-two length.
+/// 1-D complex FFT plan of fixed power-of-two length.
 class Fft1D {
  public:
   explicit Fft1D(std::size_t n);
@@ -36,11 +43,44 @@ class Fft1D {
   std::size_t n_;
   int log2n_;
   std::vector<std::size_t> bitrev_;
-  std::vector<Cplx> twiddle_fwd_;  // exp(-2πi k / n), k < n/2
-  std::vector<Cplx> twiddle_inv_;
+  // Per-stage twiddles for stage lengths >= 8, contiguous per stage:
+  // stage_fwd_[s][k] = exp(-2πi k / 2^s), k < 2^(s-1). Stages 1 and 2
+  // (butterfly lengths 2 and 4) use exact ±1/±i factors and carry no tables.
+  std::vector<std::vector<Cplx>> stage_fwd_, stage_inv_;
 };
 
-/// 2-D FFT plan over row-major (n0 x n1) complex arrays.
+/// 1-D real-to-complex / complex-to-real FFT plan (half-spectrum, Hermitian
+/// packing). Length must be an even power of two (>= 2); odd sizes are
+/// rejected. The spectrum holds the n/2 + 1 non-redundant bins X[0..n/2];
+/// the remaining bins of the full transform follow from X[n-k] = conj(X[k]).
+class Rfft1D {
+ public:
+  explicit Rfft1D(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t spec_size() const { return n_ / 2 + 1; }
+
+  /// Forward r2c (unnormalized): x is n real samples, spec receives the
+  /// n/2 + 1 half-spectrum bins.
+  void forward(std::span<const double> x, std::span<Cplx> spec) const;
+
+  /// Inverse c2r with the 1/n factor. `spec` must be the half spectrum of a
+  /// real signal (imaginary parts of bins 0 and n/2 are ignored round-off).
+  void inverse(std::span<const Cplx> spec, std::span<double> x) const;
+
+  /// As inverse(), but reuses `spec` as scratch (contents are destroyed).
+  void inverse_inplace(std::span<Cplx> spec, std::span<double> x) const;
+
+ private:
+  std::size_t n_, h_;  // h_ = n/2
+  Fft1D half_;
+  std::vector<Cplx> w_;  // exp(-2πi k / n), k <= n/4
+};
+
+/// 2-D FFT plan over row-major (n0 x n1) arrays. Real-grid transforms keep
+/// the full Hermitian-redundant (n0 x n1) complex spectrum layout at the API
+/// (the SQG solver's wavenumber tables index it directly) but compute through
+/// the half-spectrum pipeline internally.
 class Fft2D {
  public:
   Fft2D(std::size_t n0, std::size_t n1);
@@ -48,18 +88,31 @@ class Fft2D {
   [[nodiscard]] std::size_t rows() const { return n0_; }
   [[nodiscard]] std::size_t cols() const { return n1_; }
 
+  /// Worker-thread cap for the row/column transform batches: 1 = serial
+  /// (default), 0 = all pool workers. Any value yields bitwise-identical
+  /// results (disjoint rows; per-row work is partition-invariant).
+  void set_max_threads(std::size_t max_threads) { threads_ = max_threads; }
+  [[nodiscard]] std::size_t max_threads() const { return threads_; }
+
   void forward(std::span<Cplx> x) const;
   void inverse(std::span<Cplx> x) const;
 
-  /// Real grid -> full complex spectrum (Hermitian-redundant but simple).
+  /// Real grid -> full complex spectrum (Hermitian-redundant layout).
   void forward_real(std::span<const double> grid, std::span<Cplx> spec) const;
 
-  /// Complex spectrum -> real grid (imaginary residue must be round-off).
+  /// Complex spectrum -> real grid. `spec` must be (numerically) Hermitian —
+  /// i.e. the transform of a real field, possibly scaled by real or
+  /// conjugate-symmetric spectral factors; only the non-redundant half is
+  /// read.
   void inverse_real(std::span<const Cplx> spec, std::span<double> grid) const;
 
  private:
+  void transform2d(std::span<Cplx> x, bool inverse) const;
+
   std::size_t n0_, n1_;
+  std::size_t threads_ = 1;
   Fft1D row_, col_;
+  std::optional<Rfft1D> rrow_;  // present when n1 >= 2
 };
 
 }  // namespace turbda::fft

@@ -21,6 +21,12 @@ class ForecastModel {
   /// Advance `state` in place over one assimilation window.
   virtual void forecast(std::span<double> state) = 0;
 
+  /// True when forecast() may be called concurrently from several threads on
+  /// disjoint states (no shared mutable scratch). The OSSE driver fans the
+  /// ensemble member loop out over the thread pool only for models that opt
+  /// in; the default is the conservative serial contract.
+  [[nodiscard]] virtual bool concurrent_safe() const { return false; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

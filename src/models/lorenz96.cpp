@@ -4,14 +4,34 @@
 
 namespace turbda::models {
 
+namespace {
+
+/// Per-thread RK4 scratch so one Lorenz96 instance can step many ensemble
+/// members concurrently (see ForecastModel::concurrent_safe).
+struct L96Scratch {
+  std::vector<double> k1, k2, k3, k4, tmp;
+
+  void ensure(std::size_t n) {
+    if (k1.size() == n) return;
+    k1.resize(n);
+    k2.resize(n);
+    k3.resize(n);
+    k4.resize(n);
+    tmp.resize(n);
+  }
+};
+
+L96Scratch& tls_scratch(std::size_t n) {
+  thread_local L96Scratch s;
+  s.ensure(n);
+  return s;
+}
+
+}  // namespace
+
 Lorenz96::Lorenz96(Lorenz96Config cfg) : cfg_(cfg) {
   TURBDA_REQUIRE(cfg_.dim >= 4, "Lorenz-96 needs dim >= 4");
   TURBDA_REQUIRE(cfg_.dt > 0 && cfg_.steps_per_window > 0, "bad Lorenz-96 time stepping");
-  k1_.resize(cfg_.dim);
-  k2_.resize(cfg_.dim);
-  k3_.resize(cfg_.dim);
-  k4_.resize(cfg_.dim);
-  tmp_.resize(cfg_.dim);
 }
 
 void Lorenz96::tendency(std::span<const double> x, std::span<double> dx) const {
@@ -27,16 +47,17 @@ void Lorenz96::tendency(std::span<const double> x, std::span<double> dx) const {
 void Lorenz96::step(std::span<double> x) const {
   const std::size_t n = cfg_.dim;
   TURBDA_REQUIRE(x.size() == n, "Lorenz-96 state size mismatch");
+  auto& s = tls_scratch(n);
   const double dt = cfg_.dt;
-  tendency(x, k1_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k1_[i];
-  tendency(tmp_, k2_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + 0.5 * dt * k2_[i];
-  tendency(tmp_, k3_);
-  for (std::size_t i = 0; i < n; ++i) tmp_[i] = x[i] + dt * k3_[i];
-  tendency(tmp_, k4_);
+  tendency(x, s.k1);
+  for (std::size_t i = 0; i < n; ++i) s.tmp[i] = x[i] + 0.5 * dt * s.k1[i];
+  tendency(s.tmp, s.k2);
+  for (std::size_t i = 0; i < n; ++i) s.tmp[i] = x[i] + 0.5 * dt * s.k2[i];
+  tendency(s.tmp, s.k3);
+  for (std::size_t i = 0; i < n; ++i) s.tmp[i] = x[i] + dt * s.k3[i];
+  tendency(s.tmp, s.k4);
   for (std::size_t i = 0; i < n; ++i)
-    x[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
+    x[i] += dt / 6.0 * (s.k1[i] + 2.0 * s.k2[i] + 2.0 * s.k3[i] + s.k4[i]);
 }
 
 void Lorenz96::forecast(std::span<double> state) {

@@ -29,6 +29,7 @@ class Lorenz96 final : public ForecastModel {
   [[nodiscard]] std::size_t dim() const override { return cfg_.dim; }
   void forecast(std::span<double> state) override;
   [[nodiscard]] std::string name() const override { return "lorenz96"; }
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
   /// Single RK4 step of length cfg.dt.
   void step(std::span<double> x) const;
@@ -39,9 +40,9 @@ class Lorenz96 final : public ForecastModel {
   void tendency(std::span<const double> x, std::span<double> dx) const;
 
   Lorenz96Config cfg_;
-  // Scratch buffers reused across steps (forecast() is called per member in
-  // a hot loop; avoid reallocating).
-  mutable std::vector<double> k1_, k2_, k3_, k4_, tmp_;
+  // RK4 scratch is per-thread (see lorenz96.cpp): forecast() is called per
+  // member in a hot loop — possibly from many pool workers at once — so the
+  // model itself stays immutable and allocation-free per step.
 };
 
 }  // namespace turbda::models

@@ -28,6 +28,9 @@ class ScaledForecast final : public ForecastModel {
 
   [[nodiscard]] std::string name() const override { return inner_.name() + "-scaled"; }
 
+  /// The wrapper itself touches only the caller's state slice.
+  [[nodiscard]] bool concurrent_safe() const override { return inner_.concurrent_safe(); }
+
   [[nodiscard]] double scale() const { return scale_; }
 
  private:

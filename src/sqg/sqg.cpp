@@ -8,11 +8,50 @@
 
 namespace turbda::sqg {
 
+void SqgWorkspace::resize(std::size_t grid_n) {
+  n = grid_n;
+  const std::size_t nn = grid_n * grid_n;
+  psi.resize(2 * nn);
+  work.resize(nn);
+  jac.resize(nn);
+  gu.resize(nn);
+  gv.resize(nn);
+  gtx.resize(nn);
+  gty.resize(nn);
+  gj.resize(nn);
+  k1.resize(2 * nn);
+  k2.resize(2 * nn);
+  k3.resize(2 * nn);
+  k4.resize(2 * nn);
+  stage.resize(2 * nn);
+  spec.resize(2 * nn);
+  // Diagnostics buffers (spec2/psi2/wutil/gutil) stay empty until a
+  // diagnostics entry point asks for them.
+}
+
+void SqgWorkspace::resize_diagnostics(std::size_t grid_n) {
+  if (n != grid_n) resize(grid_n);
+  const std::size_t nn = grid_n * grid_n;
+  spec2.resize(2 * nn);
+  psi2.resize(2 * nn);
+  wutil.resize(nn);
+  gutil.resize(nn);
+}
+
+SqgWorkspace& tls_workspace(std::size_t n) {
+  thread_local std::vector<std::unique_ptr<SqgWorkspace>> cache;
+  for (auto& w : cache)
+    if (w->n == n) return *w;
+  cache.push_back(std::make_unique<SqgWorkspace>(n));
+  return *cache.back();
+}
+
 SqgModel::SqgModel(SqgConfig cfg) : cfg_(cfg), nn_(cfg.n * cfg.n), fft_(cfg.n, cfg.n) {
   TURBDA_REQUIRE(is_pow2(cfg_.n), "SQG grid size must be a power of two");
   TURBDA_REQUIRE(cfg_.diff_order > 0 && cfg_.diff_order % 2 == 0, "diff_order must be even");
   TURBDA_REQUIRE(cfg_.dt > 0 && cfg_.L > 0 && cfg_.H > 0 && cfg_.f > 0 && cfg_.nsq > 0,
                  "bad SQG configuration");
+  fft_.set_max_threads(cfg_.n_fft_threads);
 
   const std::size_t n = cfg_.n;
   kx_.resize(nn_);
@@ -72,21 +111,6 @@ SqgModel::SqgModel(SqgConfig cfg) : cfg_(cfg), nn_(cfg.n * cfg.n), fft_(cfg.n, c
     ubar_[0] = 0.0;
     ubar_[1] = cfg_.U;
   }
-
-  psi_.resize(2 * nn_);
-  work_.resize(nn_);
-  jac_.resize(nn_);
-  gu_.resize(nn_);
-  gv_.resize(nn_);
-  gtx_.resize(nn_);
-  gty_.resize(nn_);
-  gj_.resize(nn_);
-  k1_.resize(2 * nn_);
-  k2_.resize(2 * nn_);
-  k3_.resize(2 * nn_);
-  k4_.resize(2 * nn_);
-  stage_.resize(2 * nn_);
-  spec_.resize(2 * nn_);
 }
 
 void SqgModel::to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const {
@@ -126,13 +150,15 @@ void SqgModel::invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec
   }
 }
 
-void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out) const {
-  invert(theta_spec, psi_);
+void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out,
+                        SqgWorkspace& ws) const {
+  if (ws.n != cfg_.n) ws.resize(cfg_.n);
+  invert(theta_spec, ws.psi);
   const double inv_tdiab = (cfg_.t_diab > 0.0) ? 1.0 / cfg_.t_diab : 0.0;
 
   for (std::size_t l = 0; l < 2; ++l) {
     const Cplx* th = theta_spec.data() + l * nn_;
-    const Cplx* ps = psi_.data() + l * nn_;
+    const Cplx* ps = ws.psi.data() + l * nn_;
     Cplx* dth = out.data() + l * nn_;
     const Cplx iu(0.0, 1.0);
 
@@ -141,29 +167,29 @@ void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out) c
     // the real inverse of U in its real part and of V in its imaginary part.
     //   u + i v: uhat + i*vhat = -psi_hat * (kx + i ky)
     //   tx + i ty: txhat + i*tyhat = theta_hat * (-ky + i kx)
-    for (std::size_t p = 0; p < nn_; ++p) work_[p] = -ps[p] * Cplx(kx_[p], ky_[p]);
-    fft_.inverse(work_);
+    for (std::size_t p = 0; p < nn_; ++p) ws.work[p] = -ps[p] * Cplx(kx_[p], ky_[p]);
+    fft_.inverse(ws.work);
     for (std::size_t p = 0; p < nn_; ++p) {
-      gu_[p] = work_[p].real();
-      gv_[p] = work_[p].imag();
+      ws.gu[p] = ws.work[p].real();
+      ws.gv[p] = ws.work[p].imag();
     }
-    for (std::size_t p = 0; p < nn_; ++p) work_[p] = th[p] * Cplx(-ky_[p], kx_[p]);
-    fft_.inverse(work_);
+    for (std::size_t p = 0; p < nn_; ++p) ws.work[p] = th[p] * Cplx(-ky_[p], kx_[p]);
+    fft_.inverse(ws.work);
     for (std::size_t p = 0; p < nn_; ++p) {
-      gtx_[p] = work_[p].real();
-      gty_[p] = work_[p].imag();
+      ws.gtx[p] = ws.work[p].real();
+      ws.gty[p] = ws.work[p].imag();
     }
 
     // Nonlinear advection J(psi, theta) = u theta_x + v theta_y.
-    for (std::size_t p = 0; p < nn_; ++p) gj_[p] = gu_[p] * gtx_[p] + gv_[p] * gty_[p];
-    fft_.forward_real(gj_, jac_);
+    for (std::size_t p = 0; p < nn_; ++p) ws.gj[p] = ws.gu[p] * ws.gtx[p] + ws.gv[p] * ws.gty[p];
+    fft_.forward_real(ws.gj, ws.jac);
 
     const double ub = ubar_[l];
     for (std::size_t p = 0; p < nn_; ++p) {
-      Cplx t = dealias_[p] ? -jac_[p] : Cplx(0.0, 0.0);  // -J, dealiased
-      t -= iu * kx_[p] * ub * th[p];                     // mean-flow advection
-      t += lambda_ * iu * kx_[p] * ps[p];                // -v * d(thetabar)/dy
-      t -= inv_tdiab * th[p];                            // thermal relaxation
+      Cplx t = dealias_[p] ? -ws.jac[p] : Cplx(0.0, 0.0);  // -J, dealiased
+      t -= iu * kx_[p] * ub * th[p];                       // mean-flow advection
+      t += lambda_ * iu * kx_[p] * ps[p];                  // -v * d(thetabar)/dy
+      t -= inv_tdiab * th[p];                              // thermal relaxation
       if (l == 0 && cfg_.r_ekman != 0.0) t += cfg_.r_ekman * ksq_[p] * ps[p];  // Ekman pumping
       dth[p] = t;
     }
@@ -177,37 +203,39 @@ void SqgModel::apply_hyperdiffusion(std::span<Cplx> theta_spec) const {
   }
 }
 
-void SqgModel::step(std::span<double> theta_grid, int nsteps) const {
-  to_spectral(theta_grid, spec_);
+void SqgModel::step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) const {
+  if (ws.n != cfg_.n) ws.resize(cfg_.n);
+  to_spectral(theta_grid, ws.spec);
   const double dt = cfg_.dt;
   const std::size_t m = 2 * nn_;
   for (int s = 0; s < nsteps; ++s) {
-    tendency(spec_, k1_);
-    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + 0.5 * dt * k1_[i];
-    tendency(stage_, k2_);
-    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + 0.5 * dt * k2_[i];
-    tendency(stage_, k3_);
-    for (std::size_t i = 0; i < m; ++i) stage_[i] = spec_[i] + dt * k3_[i];
-    tendency(stage_, k4_);
+    tendency(ws.spec, ws.k1, ws);
+    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k1[i];
+    tendency(ws.stage, ws.k2, ws);
+    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k2[i];
+    tendency(ws.stage, ws.k3, ws);
+    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + dt * ws.k3[i];
+    tendency(ws.stage, ws.k4, ws);
     for (std::size_t i = 0; i < m; ++i)
-      spec_[i] += dt / 6.0 * (k1_[i] + 2.0 * k2_[i] + 2.0 * k3_[i] + k4_[i]);
-    apply_hyperdiffusion(spec_);
+      ws.spec[i] += dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
+    apply_hyperdiffusion(ws.spec);
   }
-  to_grid(spec_, theta_grid);
+  to_grid(ws.spec, theta_grid);
 }
 
-void SqgModel::advance(std::span<double> theta_grid, double seconds) const {
+void SqgModel::advance(std::span<double> theta_grid, double seconds, SqgWorkspace& ws) const {
   const int nsteps = static_cast<int>(std::ceil(seconds / cfg_.dt - 1e-9));
-  if (nsteps > 0) step(theta_grid, nsteps);
+  if (nsteps > 0) step(theta_grid, nsteps, ws);
 }
 
 void SqgModel::random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude,
-                           int k_peak) const {
+                           int k_peak, SqgWorkspace& ws) const {
   TURBDA_REQUIRE(theta_grid.size() == dim(), "random_init: wrong state size");
+  if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
   // White noise -> spectral ring filter |m| <= k_peak -> rescale. Doing the
   // filtering via a real grid round-trip keeps the field exactly real.
-  std::vector<double> noise(nn_);
-  std::vector<Cplx> spec(nn_);
+  std::span<double> noise(ws.gutil.data(), nn_);
+  std::span<Cplx> spec(ws.wutil.data(), nn_);
   const auto ni = static_cast<long>(cfg_.n);
   for (int l = 0; l < 2; ++l) {
     rng.fill_gaussian(noise);
@@ -231,12 +259,13 @@ void SqgModel::random_init(std::span<double> theta_grid, rng::Rng& rng, double r
   }
 }
 
-std::vector<double> SqgModel::ke_spectrum(std::span<const double> theta_grid, int level) const {
+std::vector<double> SqgModel::ke_spectrum(std::span<const double> theta_grid, int level,
+                                          SqgWorkspace& ws) const {
   TURBDA_REQUIRE(level == 0 || level == 1, "level must be 0 or 1");
-  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_);
-  to_spectral(theta_grid, spec);
-  invert(spec, psi);
-  const Cplx* ps = psi.data() + static_cast<std::size_t>(level) * nn_;
+  if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
+  to_spectral(theta_grid, ws.spec2);
+  invert(ws.spec2, ws.psi2);
+  const Cplx* ps = ws.psi2.data() + static_cast<std::size_t>(level) * nn_;
 
   const auto ni = static_cast<long>(cfg_.n);
   std::vector<double> bins(cfg_.n / 2 + 1, 0.0);
@@ -255,26 +284,28 @@ std::vector<double> SqgModel::ke_spectrum(std::span<const double> theta_grid, in
   return bins;
 }
 
-double SqgModel::total_ke(std::span<const double> theta_grid) const {
-  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_);
-  to_spectral(theta_grid, spec);
-  invert(spec, psi);
+double SqgModel::total_ke(std::span<const double> theta_grid, SqgWorkspace& ws) const {
+  if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
+  to_spectral(theta_grid, ws.spec2);
+  invert(ws.spec2, ws.psi2);
   double e = 0.0;
   const double norm = 1.0 / (static_cast<double>(nn_) * static_cast<double>(nn_));
   for (std::size_t l = 0; l < 2; ++l)
-    for (std::size_t p = 0; p < nn_; ++p) e += 0.5 * ksq_[p] * std::norm(psi[l * nn_ + p]) * norm;
+    for (std::size_t p = 0; p < nn_; ++p)
+      e += 0.5 * ksq_[p] * std::norm(ws.psi2[l * nn_ + p]) * norm;
   return e;
 }
 
-double SqgModel::cfl(std::span<const double> theta_grid) const {
-  std::vector<Cplx> spec(2 * nn_), psi(2 * nn_), w(nn_);
-  std::vector<double> g(nn_);
-  to_spectral(theta_grid, spec);
-  invert(spec, psi);
+double SqgModel::cfl(std::span<const double> theta_grid, SqgWorkspace& ws) const {
+  if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
+  to_spectral(theta_grid, ws.spec2);
+  invert(ws.spec2, ws.psi2);
+  std::span<Cplx> w(ws.wutil.data(), nn_);
+  std::span<double> g(ws.gutil.data(), nn_);
   double umax = 0.0;
   const Cplx iu(0.0, 1.0);
   for (std::size_t l = 0; l < 2; ++l) {
-    const Cplx* ps = psi.data() + l * nn_;
+    const Cplx* ps = ws.psi2.data() + l * nn_;
     for (std::size_t p = 0; p < nn_; ++p) w[p] = -iu * ky_[p] * ps[p];
     fft_.inverse_real(w, g);
     for (double x : g) umax = std::max(umax, std::abs(x + ubar_[l]));

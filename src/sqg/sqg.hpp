@@ -20,6 +20,14 @@
 // Numerics: FFT spectral discretization, grid-space Jacobian with 2/3-rule
 // dealiasing, RK4, and implicit (integrating-factor) del^8 hyperdiffusion
 // applied once per step — exactly the scheme the paper describes.
+//
+// Concurrency: SqgModel is immutable after construction (an FFT plan plus
+// wavenumber/hyperdiffusion tables). All per-step scratch lives in an
+// explicit SqgWorkspace, so one model instance can step many states from
+// many threads at once with zero per-step allocation — the property the
+// parallel ensemble forecast in OsseRunner relies on. The workspace-less
+// overloads borrow a lazily grown per-thread workspace and are therefore
+// also safe to call concurrently.
 #pragma once
 
 #include <complex>
@@ -48,7 +56,38 @@ struct SqgConfig {
   int diff_order = 8;            ///< hyperdiffusion order (del^8)
   double diff_efold = 86400.0 / 3.0;  ///< e-folding of the highest mode [s]
   double dt = 900.0;             ///< RK4 step [s]
+  /// Worker threads for the 2-D transform row/column batches inside one
+  /// step: 1 = serial (default), 0 = all pool workers. Results are bitwise
+  /// identical for any value; when steps already run member-parallel the
+  /// nested fan-out degrades gracefully to serial.
+  std::size_t n_fft_threads = 1;
 };
+
+/// All mutable scratch one in-flight SQG integration needs: spectral stage
+/// buffers for RK4 plus grid-space fields for the Jacobian. Allocate once per
+/// worker (or let the model borrow a per-thread one) and reuse — stepping
+/// performs no heap allocation.
+struct SqgWorkspace {
+  SqgWorkspace() = default;
+  explicit SqgWorkspace(std::size_t n) { resize(n); }
+
+  /// Sizes the stepping buffers. The diagnostics buffers below are sized on
+  /// demand by resize_diagnostics() so forecast-only workers (one workspace
+  /// per pool thread) never pay for them.
+  void resize(std::size_t n);
+  void resize_diagnostics(std::size_t n);
+
+  std::size_t n = 0;                         ///< grid points per side
+  std::vector<Cplx> psi, work, jac;          // inversion + transform scratch
+  std::vector<double> gu, gv, gtx, gty, gj;  // grid-space Jacobian fields
+  std::vector<Cplx> k1, k2, k3, k4, stage, spec;  // RK4 stages (2 n^2 each)
+  std::vector<Cplx> spec2, psi2, wutil;      // diagnostics (ke/cfl/init)
+  std::vector<double> gutil;
+};
+
+/// Per-thread workspace for grid size n, grown lazily and cached for the
+/// thread's lifetime. Backs the workspace-less SqgModel overloads.
+SqgWorkspace& tls_workspace(std::size_t n);
 
 /// The SQG solver. State layout for the DA stack: grid-space theta, level 0
 /// (z=0) then level 1 (z=H), row-major n x n each — i.e. the paper's
@@ -62,31 +101,55 @@ class SqgModel {
   [[nodiscard]] std::size_t dim() const { return 2 * cfg_.n * cfg_.n; }
 
   /// Advance grid-space state by `nsteps` RK4 steps of length cfg.dt.
-  void step(std::span<double> theta_grid, int nsteps = 1) const;
+  void step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) const;
+  void step(std::span<double> theta_grid, int nsteps = 1) const {
+    step(theta_grid, nsteps, tls_workspace(cfg_.n));
+  }
 
   /// Advance by (approximately) `seconds`, using ceil(seconds/dt) steps.
-  void advance(std::span<double> theta_grid, double seconds) const;
+  void advance(std::span<double> theta_grid, double seconds, SqgWorkspace& ws) const;
+  void advance(std::span<double> theta_grid, double seconds) const {
+    advance(theta_grid, seconds, tls_workspace(cfg_.n));
+  }
 
   /// Random large-scale initial condition: iid spectral amplitudes confined
   /// to |k| <= k_peak with the given grid-space RMS amplitude.
+  void random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude, int k_peak,
+                   SqgWorkspace& ws) const;
   void random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude,
-                   int k_peak = 4) const;
+                   int k_peak = 4) const {
+    random_init(theta_grid, rng, rms_amplitude, k_peak, tls_workspace(cfg_.n));
+  }
 
   /// Isotropic kinetic-energy spectrum E(K) at a boundary level (0 or 1),
   /// binned by integer total wavenumber index; E = 0.5 K^2 |psi|^2.
+  [[nodiscard]] std::vector<double> ke_spectrum(std::span<const double> theta_grid, int level,
+                                                SqgWorkspace& ws) const;
   [[nodiscard]] std::vector<double> ke_spectrum(std::span<const double> theta_grid,
-                                                int level) const;
+                                                int level) const {
+    return ke_spectrum(theta_grid, level, tls_workspace(cfg_.n));
+  }
 
   /// Total kinetic energy (both levels) per unit area.
-  [[nodiscard]] double total_ke(std::span<const double> theta_grid) const;
+  [[nodiscard]] double total_ke(std::span<const double> theta_grid, SqgWorkspace& ws) const;
+  [[nodiscard]] double total_ke(std::span<const double> theta_grid) const {
+    return total_ke(theta_grid, tls_workspace(cfg_.n));
+  }
 
   /// Max |u| CFL number for the current state: max(|u|,|v|) * dt / dx.
-  [[nodiscard]] double cfl(std::span<const double> theta_grid) const;
+  [[nodiscard]] double cfl(std::span<const double> theta_grid, SqgWorkspace& ws) const;
+  [[nodiscard]] double cfl(std::span<const double> theta_grid) const {
+    return cfl(theta_grid, tls_workspace(cfg_.n));
+  }
 
   /// Analytic Eady growth rate [1/s] for zonal wavenumber index m (i.e.
   /// kx = 2*pi*m/L, ky = 0); zero when the wave is neutral. Used to verify
   /// the discrete dynamics against linear theory.
   [[nodiscard]] double eady_growth_rate(int m) const;
+
+  /// Boundary tendency d(theta)/dt in spectral space (public for the step
+  /// benches and tests; `out` must not alias `theta_spec`).
+  void tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out, SqgWorkspace& ws) const;
 
   // --- spectral-space accessors used by tests -------------------------------
   void to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const;
@@ -94,7 +157,6 @@ class SqgModel {
   void invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec) const;
 
  private:
-  void tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out) const;
   void apply_hyperdiffusion(std::span<Cplx> theta_spec) const;
 
   SqgConfig cfg_;
@@ -107,15 +169,11 @@ class SqgModel {
   std::vector<std::uint8_t> dealias_;        // 2/3-rule mask
   double ubar_[2];                           // basic-state zonal wind per level
   double lambda_;                            // shear U/H
-
-  // Scratch (tendency is on the hot path of every ensemble member).
-  mutable std::vector<Cplx> psi_, work_, jac_;
-  mutable std::vector<double> gu_, gv_, gtx_, gty_, gj_;
-  mutable std::vector<Cplx> k1_, k2_, k3_, k4_, stage_, spec_;
 };
 
 /// ForecastModel adapter: advances the SQG state over one assimilation
-/// window (`window_seconds`, e.g. 12 h in the paper's OSSE).
+/// window (`window_seconds`, e.g. 12 h in the paper's OSSE). Stateless apart
+/// from the shared immutable model, so concurrent member forecasts are safe.
 class SqgForecast final : public models::ForecastModel {
  public:
   SqgForecast(std::shared_ptr<const SqgModel> model, double window_seconds)
@@ -124,6 +182,7 @@ class SqgForecast final : public models::ForecastModel {
   [[nodiscard]] std::size_t dim() const override { return model_->dim(); }
   void forecast(std::span<double> state) override { model_->advance(state, window_); }
   [[nodiscard]] std::string name() const override { return "sqg"; }
+  [[nodiscard]] bool concurrent_safe() const override { return true; }
 
   [[nodiscard]] const SqgModel& model() const { return *model_; }
 

@@ -100,12 +100,67 @@ void gemm_rows(Trans ta, Trans tb, std::size_t r0, std::size_t r1, std::size_t n
   }
 }
 
+/// Dedicated matrix-vector rows kernel: an n = 1 "GEMM" is a dot-product
+/// loop, and the tile-packing machinery of gemm_rows is pure overhead for
+/// it. Accumulation per output element is beta-scale first, then ascending
+/// k with alpha applied to the A element — exactly gemm_rows' per-element
+/// order, so routing n = 1 products here is bitwise transparent.
+void gemv_rows(Trans ta, std::size_t r0, std::size_t r1, std::size_t k, double alpha,
+               const double* a, std::size_t lda, const double* x, std::size_t incx, double beta,
+               double* y, std::size_t incy) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    double acc = (beta == 0.0) ? 0.0 : beta * y[i * incy];
+    if (alpha != 0.0) {
+      if (ta == Trans::No && incx == 1) {
+        const double* row = a + i * lda;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += alpha * row[kk] * x[kk];
+      } else if (ta == Trans::No) {
+        const double* row = a + i * lda;
+        for (std::size_t kk = 0; kk < k; ++kk) acc += alpha * row[kk] * x[kk * incx];
+      } else {
+        for (std::size_t kk = 0; kk < k; ++kk) acc += alpha * a[kk * lda + i] * x[kk * incx];
+      }
+    }
+    y[i * incy] = acc;
+  }
+}
+
+/// Shared row-partition gating for the matvec kernel (same flop threshold
+/// as the blocked GEMM path).
+void gemv_dispatch(Trans ta, std::size_t m, std::size_t k, double alpha, const double* a,
+                   std::size_t lda, const double* x, std::size_t incx, double beta, double* y,
+                   std::size_t incy, std::size_t max_threads) {
+  if (m == 0) return;
+  if (max_threads != 1 && 2 * m * k >= kParFlops && m >= 2 * kParMinRows) {
+    parallel::parallel_for(
+        m,
+        [&](std::size_t r0, std::size_t r1) {
+          gemv_rows(ta, r0, r1, k, alpha, a, lda, x, incx, beta, y, incy);
+        },
+        kParMinRows, max_threads);
+    return;
+  }
+  gemv_rows(ta, 0, m, k, alpha, a, lda, x, incx, beta, y, incy);
+}
+
 }  // namespace
+
+void gemv(Trans ta, std::size_t m, std::size_t k, double alpha, const double* a, std::size_t lda,
+          const double* x, double beta, double* y, std::size_t max_threads) {
+  gemv_dispatch(ta, m, k, alpha, a, lda, x, 1, beta, y, 1, max_threads);
+}
 
 void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, double alpha,
           const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
           double* c, std::size_t ldc, std::size_t max_threads) {
   if (m == 0) return;
+  if (n == 1) {
+    // op(B) is k x 1: column stride ldb when stored k x 1, contiguous when
+    // stored 1 x k (transposed).
+    const std::size_t incx = (tb == Trans::No) ? ldb : 1;
+    gemv_dispatch(ta, m, k, alpha, a, lda, b, incx, beta, c, ldc, max_threads);
+    return;
+  }
   // Disjoint row ranges: workers share nothing but read-only A/B, and the
   // per-element FP order is partition-invariant (see gemm_rows), so the
   // result is bitwise independent of the thread count.
@@ -151,8 +206,7 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   TURBDA_REQUIRE(a.rank() == 2 && x.rank() == 1, "matvec needs (rank-2, rank-1)");
   TURBDA_REQUIRE(a.extent(1) == x.extent(0), "matvec: dimension mismatch");
   Tensor y({a.extent(0)});
-  gemm(Trans::No, Trans::No, a.extent(0), 1, a.extent(1), 1.0, a.data(), a.extent(1), x.data(), 1,
-       0.0, y.data(), 1);
+  gemv(Trans::No, a.extent(0), a.extent(1), 1.0, a.data(), a.extent(1), x.data(), 0.0, y.data());
   return y;
 }
 

@@ -24,6 +24,14 @@ void gemm(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, doubl
           const double* a, std::size_t lda, const double* b, std::size_t ldb, double beta,
           double* c, std::size_t ldc, std::size_t max_threads = 0);
 
+/// y = alpha * op(A) * x + beta * y, row-major; op(A) is M x K. A dedicated
+/// dot-product kernel — n = 1 products skip the GEMM tile packing entirely
+/// (gemm() routes them here too) while keeping the same per-element
+/// accumulation order, so results are bitwise identical to the blocked path
+/// and independent of the thread count.
+void gemv(Trans ta, std::size_t m, std::size_t k, double alpha, const double* a, std::size_t lda,
+          const double* x, double beta, double* y, std::size_t max_threads = 0);
+
 /// C = A * B for rank-2 tensors (convenience wrapper).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b, std::size_t max_threads = 0);
 

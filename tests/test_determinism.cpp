@@ -1,10 +1,12 @@
-// Thread-count determinism: LETKF and EnSF analyses must be bitwise
-// identical for 1, 2 and hardware_concurrency() worker threads, and the
-// row-parallel blocked GEMM must match a serial reference bitwise. This is
-// the contract that makes the parallel hot path safe to enable by default.
+// Thread-count determinism: LETKF and EnSF analyses, SQG forecasts and the
+// member-parallel OSSE ensemble loop must be bitwise identical for 1, 2 and
+// hardware_concurrency() worker threads, and the row-parallel blocked GEMM
+// must match a serial reference bitwise. This is the contract that makes the
+// parallel hot path safe to enable by default.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -12,7 +14,10 @@
 #include "da/ensf.hpp"
 #include "da/letkf.hpp"
 #include "da/observation.hpp"
+#include "da/osse.hpp"
+#include "models/model_error.hpp"
 #include "rng/rng.hpp"
+#include "sqg/sqg.hpp"
 #include "tensor/gemm.hpp"
 
 namespace turbda {
@@ -112,6 +117,66 @@ TEST(Determinism, EnsfMinibatchIndependentOfThreadCount) {
     da::EnSF filter(ec);
     filter.analyze(c.ens, c.y, c.h, c.r);
     expect_bitwise_equal(ref_case.ens, c.ens, nt);
+  }
+}
+
+TEST(Determinism, SqgStepIndependentOfFftThreadCount) {
+  // The 2-D transform fans row/column batches out over the pool; disjoint
+  // rows with partition-invariant per-row work must make a full RK4 step —
+  // and the FFT-based random_init — bitwise thread-count independent.
+  auto run_steps = [](std::size_t n_fft_threads) {
+    sqg::SqgConfig cfg;
+    cfg.n = 32;
+    cfg.n_fft_threads = n_fft_threads;
+    sqg::SqgModel model(cfg);
+    rng::Rng rng(4242);
+    std::vector<double> theta(model.dim());
+    model.random_init(theta, rng, 1.0, 4);
+    model.step(theta, 3);
+    return theta;
+  };
+  const auto ref = run_steps(1);
+  for (std::size_t nt : thread_counts()) {
+    const auto got = run_steps(nt);
+    EXPECT_EQ(0, std::memcmp(got.data(), ref.data(), ref.size() * sizeof(double)))
+        << nt << " FFT threads";
+  }
+}
+
+TEST(Determinism, EnsembleForecastIndependentOfThreadCount) {
+  // Member-parallel OSSE forecasts (with per-member counter-based model
+  // error) must reproduce the serial member loop bitwise.
+  auto run_osse = [](std::size_t n_forecast_threads) {
+    sqg::SqgConfig mc;
+    mc.n = 16;
+    mc.dt = 1800.0;
+    auto model = std::make_shared<sqg::SqgModel>(mc);
+    sqg::SqgForecast truth(model, 6 * 3600.0);
+    sqg::SqgForecast fcst(model, 6 * 3600.0);
+    da::IdentityObs h(model->dim(), mc.n, mc.n, 2);
+    da::DiagonalR r(model->dim(), 1.0);
+    models::ModelErrorProcess me(models::ModelErrorConfig{.reference_scale = 0.5});
+
+    da::OsseConfig oc;
+    oc.n_members = 6;
+    oc.cycles = 2;
+    oc.seed = 99;
+    oc.inject_model_error = true;
+    oc.model_error_shared = false;  // per-member substreams on the hot loop
+    oc.n_forecast_threads = n_forecast_threads;
+
+    rng::Rng rng(31337);
+    std::vector<double> truth0(model->dim());
+    model->random_init(truth0, rng, 1.0, 3);
+    da::OsseRunner runner(oc, truth, fcst, h, r, /*filter=*/nullptr, &me);
+    runner.run(truth0);
+    da::Ensemble out = runner.ensemble();
+    return out;
+  };
+  const auto ref = run_osse(1);
+  for (std::size_t nt : thread_counts()) {
+    const auto got = run_osse(nt);
+    expect_bitwise_equal(ref, got, nt);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <cstring>
 #include <vector>
 
 #include "common/math_utils.hpp"
@@ -104,6 +105,80 @@ TEST(Fft1d, SingleModeLandsInRightBin) {
   }
 }
 
+// --- real transform (half-spectrum Hermitian packing) -----------------------
+
+class Rfft1dP : public ::testing::TestWithParam<int> {};
+
+TEST_P(Rfft1dP, MatchesNaiveDftOnHalfSpectrum) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(101 + n);
+  std::vector<double> x(n);
+  rng.fill_gaussian(x);
+  std::vector<Cplx> full(n);
+  for (std::size_t i = 0; i < n; ++i) full[i] = Cplx(x[i], 0.0);
+  const auto want = naive_dft(full);
+  Rfft1D plan(n);
+  std::vector<Cplx> got(plan.spec_size());
+  plan.forward(x, got);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), 1e-9 * static_cast<double>(n)) << "bin " << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), 1e-9 * static_cast<double>(n)) << "bin " << k;
+  }
+}
+
+TEST_P(Rfft1dP, RoundTripToMachinePrecision) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(211 + n);
+  std::vector<double> x(n);
+  rng.fill_gaussian(x);
+  const auto orig = x;
+  Rfft1D plan(n);
+  std::vector<Cplx> spec(plan.spec_size());
+  plan.forward(x, spec);
+  plan.inverse(spec, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], orig[i], 1e-12);
+}
+
+TEST_P(Rfft1dP, ParsevalHoldsWithHermitianWeights) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(307 + n);
+  std::vector<double> x(n);
+  rng.fill_gaussian(x);
+  double grid = 0.0;
+  for (double v : x) grid += v * v;
+  Rfft1D plan(n);
+  std::vector<Cplx> spec(plan.spec_size());
+  plan.forward(x, spec);
+  // Interior bins stand in for themselves and their conjugate mirror.
+  double s = std::norm(spec[0]) + std::norm(spec[n / 2]);
+  for (std::size_t k = 1; k < n / 2; ++k) s += 2.0 * std::norm(spec[k]);
+  EXPECT_NEAR(s, grid * static_cast<double>(n), 1e-8 * grid * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Rfft1dP, ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Rfft1d, RejectsOddAndNonPowerOfTwoSizes) {
+  EXPECT_THROW(Rfft1D(0), Error);
+  EXPECT_THROW(Rfft1D(1), Error);
+  EXPECT_THROW(Rfft1D(7), Error);   // odd
+  EXPECT_THROW(Rfft1D(12), Error);  // even, not a power of two
+}
+
+TEST(Rfft1d, SingleModeLandsInRightBin) {
+  const std::size_t n = 32;
+  Rfft1D plan(n);
+  std::vector<double> x(n);
+  const int m = 5;
+  for (std::size_t j = 0; j < n; ++j)
+    x[j] = std::cos(kTwoPi * m * static_cast<double>(j) / static_cast<double>(n));
+  std::vector<Cplx> spec(plan.spec_size());
+  plan.forward(x, spec);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double expect = (k == 5) ? static_cast<double>(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(spec[k]), expect, 1e-9);
+  }
+}
+
 TEST(Fft2d, RoundTripComplex) {
   const std::size_t n0 = 16, n1 = 8;
   Rng rng(31);
@@ -179,6 +254,51 @@ TEST(Fft2d, PlaneWaveSpectralDerivativeIsExact) {
       const double want = -kTwoPi * m * std::sin(kTwoPi * m * x);
       EXPECT_NEAR(deriv[jy * n + jx], want, 1e-8);
     }
+}
+
+TEST(Fft2d, ForwardRealMatchesComplexTransform) {
+  // The half-spectrum pipeline must agree with the dense complex transform
+  // of the real-embedded grid, including on non-square shapes.
+  const std::size_t n0 = 16, n1 = 8;
+  Rng rng(53);
+  std::vector<double> g(n0 * n1);
+  rng.fill_gaussian(g);
+  Fft2D plan(n0, n1);
+  std::vector<Cplx> spec(n0 * n1);
+  plan.forward_real(g, spec);
+  std::vector<Cplx> ref(n0 * n1);
+  for (std::size_t i = 0; i < g.size(); ++i) ref[i] = Cplx(g[i], 0.0);
+  plan.forward(ref);
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    EXPECT_NEAR(spec[i].real(), ref[i].real(), 1e-10);
+    EXPECT_NEAR(spec[i].imag(), ref[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft2d, ResultsBitwiseIndependentOfThreadCount) {
+  const std::size_t n = 32;
+  Rng rng(59);
+  std::vector<double> g(n * n);
+  rng.fill_gaussian(g);
+
+  Fft2D ref_plan(n, n);  // default: serial
+  std::vector<Cplx> ref_spec(n * n);
+  ref_plan.forward_real(g, ref_spec);
+  std::vector<double> ref_back(n * n);
+  ref_plan.inverse_real(ref_spec, ref_back);
+
+  for (std::size_t nt : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    Fft2D plan(n, n);
+    plan.set_max_threads(nt);
+    std::vector<Cplx> spec(n * n);
+    plan.forward_real(g, spec);
+    EXPECT_EQ(0, std::memcmp(spec.data(), ref_spec.data(), spec.size() * sizeof(Cplx)))
+        << nt << " threads";
+    std::vector<double> back(n * n);
+    plan.inverse_real(spec, back);
+    EXPECT_EQ(0, std::memcmp(back.data(), ref_back.data(), back.size() * sizeof(double)))
+        << nt << " threads";
+  }
 }
 
 TEST(Fft2d, WrongSizeThrows) {

@@ -230,6 +230,38 @@ TEST(Sqg, AdvanceRoundsStepCountUp) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
 }
 
+TEST(Sqg, ExplicitWorkspaceMatchesPerThreadDefault) {
+  // An explicit SqgWorkspace (one per worker in the parallel ensemble loop)
+  // must reproduce the convenience overloads bitwise, and reusing it across
+  // calls must not leak state between integrations.
+  SqgConfig cfg = inviscid_config(32);
+  cfg.diff_efold = 86400.0;
+  SqgModel model(cfg);
+  Rng rng(21);
+  std::vector<double> a(model.dim());
+  model.random_init(a, rng, 1.0, 4);
+  auto b = a;
+
+  SqgWorkspace ws(cfg.n);
+  model.step(a, 7);
+  model.step(b, 7, ws);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << "index " << i;
+
+  EXPECT_DOUBLE_EQ(model.total_ke(a), model.total_ke(b, ws));
+  EXPECT_DOUBLE_EQ(model.cfl(a), model.cfl(b, ws));
+  const auto s1 = model.ke_spectrum(a, 0);
+  const auto s2 = model.ke_spectrum(b, 0, ws);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t k = 0; k < s1.size(); ++k) EXPECT_DOUBLE_EQ(s1[k], s2[k]);
+
+  // A workspace sized for the wrong grid is resized transparently.
+  SqgWorkspace small(8);
+  auto c = b;
+  model.step(c, 1, small);
+  model.step(b, 1, ws);
+  for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], c[i]);
+}
+
 TEST(Sqg, RejectsBadConfig) {
   SqgConfig cfg;
   cfg.n = 48;  // not a power of two
