@@ -21,12 +21,14 @@ int main(int argc, char** argv) {
                  "                   0 = all hardware threads (default 0),\n"
                  "                   results are bitwise identical for any value\n"
                  "  --forecast-threads=<int>  member-parallel SQG forecasts\n"
-                 "                   (0 = all, 1 = serial; bitwise identical)\n";
+                 "                   (0 = all, 1 = serial; bitwise identical)\n"
+                 "  --seed=<int>     experiment seed (default 2024)\n";
     return 0;
   }
   bench::SqgExperimentConfig cfg;
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
   cfg.cycles = static_cast<int>(args.get_int("cycles", 20));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   cfg.forecast_threads = static_cast<std::size_t>(args.get_int("forecast-threads", 0));
   const auto n_threads = static_cast<std::size_t>(args.get_int("threads", 0));
 

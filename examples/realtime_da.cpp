@@ -1,0 +1,133 @@
+// Real-time streaming assimilation demo: a Lorenz-96 truth observed through
+// a synthetic stream with configurable delivery latency, jitter and
+// dropouts, cycled by the deadline-aware RealtimeRunner in either schedule.
+// Shows how assimilation quality degrades as delivery degrades, and what
+// the overlapped forecast/analysis pipeline trades for its throughput.
+//
+//   build/examples/realtime_da [--latency=0.3] [--jitter=0.5] [--drop=0.2]
+#include <iostream>
+#include <string>
+
+#include "da/etkf.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+#include "models/lorenz96.hpp"
+#include "stream/realtime_runner.hpp"
+#include "stream/synthetic_stream.hpp"
+
+using namespace turbda;
+
+namespace {
+
+struct Summary {
+  double rmse = 0.0;
+  int misses = 0;
+  int assimilated = 0;
+  std::vector<stream::StreamCycleMetrics> metrics;
+};
+
+Summary run_scenario(const stream::SyntheticStreamConfig& sc, const stream::RealtimeConfig& rc,
+                     std::span<const double> truth0, const models::Lorenz96Config& mc) {
+  models::Lorenz96 truth_model(mc), fcst_model(mc);
+  da::IdentityObs h(mc.dim);
+  da::DiagonalR r(mc.dim, 1.0);
+  da::ETKF filter(da::EtkfConfig{.rtps = 0.4});
+
+  stream::SyntheticStream s(sc, truth_model, h, r, truth0);
+  stream::RealtimeRunner runner(rc, s, fcst_model, &filter);
+  Summary out;
+  out.metrics = runner.run(truth0);
+  out.rmse = stream::mean_rmse_post(out.metrics, rc.cycles / 2);
+  out.misses = stream::count_deadline_misses(out.metrics);
+  for (const auto& m : out.metrics) out.assimilated += m.batches_assimilated;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout
+        << "realtime_da: streaming DA under degraded observation delivery (Lorenz-96 + ETKF)\n"
+           "  --cycles=<int>    assimilation windows (default 40)\n"
+           "  --members=<int>   ensemble size (default 20)\n"
+           "  --seed=<int>      experiment seed (default 7)\n"
+           "  --threads=<int>   member-forecast worker threads (0 = all, 1 = serial;\n"
+           "                    bitwise identical for any value)\n"
+           "  --latency=<f>     mean delivery latency in window units (default 0.3)\n"
+           "  --jitter=<f>      uniform extra delay in [0, jitter) windows (default 0.5)\n"
+           "  --drop=<f>        probability a window's batch is lost (default 0.2)\n"
+           "  --slack=<f>       deadline grace beyond the window end (default 0.25)\n"
+           "  --stale=<int>     max straggler age in cycles before discard (default 2)\n"
+           "  --csv=<path>      per-cycle metrics of the degraded run (default realtime_da.csv)\n";
+    return 0;
+  }
+
+  models::Lorenz96Config mc;
+  mc.dim = 40;
+  mc.steps_per_window = 10;
+
+  stream::RealtimeConfig rc;
+  rc.cycles = static_cast<int>(args.get_int("cycles", 40));
+  rc.n_members = static_cast<std::size_t>(args.get_int("members", 20));
+  rc.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  rc.n_forecast_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  rc.window_hours = 6.0;
+  rc.deadline_slack_cycles = args.get_double("slack", 0.25);
+  rc.max_stale_cycles = static_cast<int>(args.get_int("stale", 2));
+
+  stream::SyntheticStreamConfig degraded;
+  degraded.seed = rc.seed;
+  degraded.latency_cycles = args.get_double("latency", 0.3);
+  degraded.jitter_cycles = args.get_double("jitter", 0.5);
+  degraded.dropout_prob = args.get_double("drop", 0.2);
+
+  stream::SyntheticStreamConfig instant;
+  instant.seed = rc.seed;
+
+  // Spin the truth onto the attractor.
+  std::vector<double> truth0(mc.dim, 8.0);
+  truth0[0] += 0.01;
+  models::Lorenz96 spin(mc);
+  for (int i = 0; i < 500; ++i) spin.step(truth0);
+
+  std::cout << "Streaming DA on Lorenz-96 (" << mc.dim << " vars, " << rc.cycles << " cycles, "
+            << rc.n_members << " members, R = I): latency=" << degraded.latency_cycles
+            << " jitter=" << degraded.jitter_cycles << " drop=" << degraded.dropout_prob
+            << " slack=" << rc.deadline_slack_cycles << "\n\n";
+
+  const auto ideal = run_scenario(instant, rc, truth0, mc);
+  auto serial = run_scenario(degraded, rc, truth0, mc);
+  stream::RealtimeConfig oc = rc;
+  oc.schedule = stream::Schedule::Overlapped;
+  const auto overlapped = run_scenario(degraded, oc, truth0, mc);
+
+  io::Table t({"scenario", "late-half RMSE", "deadline misses", "batches assimilated"});
+  t.add_row({"instant delivery, serial", io::Table::num(ideal.rmse, 3),
+             std::to_string(ideal.misses), std::to_string(ideal.assimilated)});
+  t.add_row({"degraded, serial", io::Table::num(serial.rmse, 3), std::to_string(serial.misses),
+             std::to_string(serial.assimilated)});
+  t.add_row({"degraded, overlapped", io::Table::num(overlapped.rmse, 3),
+             std::to_string(overlapped.misses), std::to_string(overlapped.assimilated)});
+  t.print();
+
+  std::cout << "\nPer-cycle view of the degraded serial run (every 5th cycle):\n";
+  io::Table c({"cycle", "prior RMSE", "post RMSE", "batches", "age", "miss"});
+  for (const auto& m : serial.metrics) {
+    if (m.cycle % 5 != 0 && m.cycle != rc.cycles - 1) continue;
+    c.add_row({std::to_string(m.cycle), io::Table::num(m.rmse_prior, 3),
+               io::Table::num(m.rmse_post, 3), std::to_string(m.batches_assimilated),
+               std::to_string(m.max_batch_age), m.deadline_miss ? "yes" : ""});
+  }
+  c.print();
+
+  const std::string csv = args.get_str("csv", "realtime_da.csv");
+  stream::write_stream_metrics_csv(csv, serial.metrics);
+  std::cout << "\nPer-cycle metrics written to " << csv
+            << ".\nExpected: instant delivery tracks near the obs-error floor; lost and late\n"
+               "batches cost accuracy in proportion; the overlapped pipeline pays an extra\n"
+               "one-window increment lag in exchange for hiding analysis + delivery latency\n"
+               "behind the next forecast (see bench_stream_realtime for the throughput side).\n";
+  return 0;
+}

@@ -9,11 +9,18 @@
 #include "hpc/memory_model.hpp"
 #include "hpc/scaling_sim.hpp"
 #include "hpc/vit_arch.hpp"
+#include "io/args.hpp"
 #include "io/table.hpp"
 
 using namespace turbda;
 
-int main() {
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  if (args.flag("help")) {
+    std::cout << "scaling_study: Frontier-scale performance-model walkthrough (analytic —\n"
+                 "no --seed/--threads: the models are closed-form, nothing is sampled)\n";
+    return 0;
+  }
   hpc::ScalingSim sim;
   hpc::EnsfScalingModel ensf;
   hpc::MemoryModel mem;

@@ -17,12 +17,14 @@ int main(int argc, char** argv) {
     std::cout << "train_surrogate: offline-pretrain the SQG-ViT surrogate, then probe skill\n"
                  "  --epochs=<int>  pretraining epochs (default 25)\n"
                  "  --pairs=<int>   transition pairs in the training set (default 96)\n"
+                 "  --seed=<int>    experiment seed (default 2024)\n"
                  "(GEMM-bound layers use all hardware threads via the process-wide pool.)\n";
     return 0;
   }
   bench::SqgExperimentConfig cfg;
   cfg.n = 32;
   cfg.cycles = 12;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   cfg.vit_pretrain_epochs = static_cast<int>(args.get_int("epochs", 25));
   cfg.vit_pretrain_pairs = static_cast<int>(args.get_int("pairs", 96));
 

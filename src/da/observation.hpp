@@ -102,11 +102,33 @@ class SubsampleObs final : public ObservationOperator {
       TURBDA_REQUIRE(locs_.size() == idx_.size(), "SubsampleObs: locations size mismatch");
   }
 
-  /// Every `stride`-th variable.
+  /// Every `stride`-th variable (no spatial metadata — LETKF cannot
+  /// localize these; prefer strided_grid for gridded states).
   static SubsampleObs strided(std::size_t state_dim, std::size_t stride) {
     std::vector<std::size_t> idx;
     for (std::size_t i = 0; i < state_dim; i += stride) idx.push_back(i);
     return SubsampleObs(state_dim, std::move(idx));
+  }
+
+  /// Sparse observing network on a gridded state: every `stride`-th grid
+  /// point in both horizontal directions, on every level, with grid
+  /// locations attached so LETKF's R-localization sees where each
+  /// observation lives. The state layout matches IdentityObs:
+  /// index = (level * ny + iy) * nx + ix.
+  static SubsampleObs strided_grid(std::size_t nx, std::size_t ny, std::size_t n_levels,
+                                   std::size_t stride) {
+    TURBDA_REQUIRE(stride >= 1 && nx >= 1 && ny >= 1 && n_levels >= 1,
+                   "strided_grid: bad geometry");
+    std::vector<std::size_t> idx;
+    std::vector<ObsLocation> locs;
+    for (std::size_t l = 0; l < n_levels; ++l)
+      for (std::size_t j = 0; j < ny; j += stride)
+        for (std::size_t i = 0; i < nx; i += stride) {
+          idx.push_back((l * ny + j) * nx + i);
+          locs.push_back(ObsLocation{static_cast<int>(i), static_cast<int>(j),
+                                     static_cast<int>(l)});
+        }
+    return SubsampleObs(nx * ny * n_levels, std::move(idx), std::move(locs));
   }
 
   [[nodiscard]] std::size_t state_dim() const override { return dim_; }

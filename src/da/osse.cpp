@@ -1,7 +1,8 @@
 #include "da/osse.hpp"
 
 #include "common/check.hpp"
-#include "parallel/thread_pool.hpp"
+#include "stream/realtime_runner.hpp"
+#include "stream/synthetic_stream.hpp"
 
 namespace turbda::da {
 
@@ -30,91 +31,49 @@ const Ensemble& OsseRunner::ensemble() const {
   return *ens_;
 }
 
+// The offline OSSE is the degenerate real-time configuration: a synthetic
+// stream with zero latency, no jitter and no dropouts, cycled by the serial
+// schedule. One cycling code path serves both the paper's offline
+// experiments and the streaming subsystem (test-enforced to stay bitwise
+// identical to the historical in-line loop).
 std::vector<CycleMetrics> OsseRunner::run(std::span<const double> truth0,
                                           const Ensemble* initial_ensemble) {
-  const std::size_t d = truth_model_.dim();
-  TURBDA_REQUIRE(truth0.size() == d, "initial truth size mismatch");
+  TURBDA_REQUIRE(truth0.size() == truth_model_.dim(), "initial truth size mismatch");
 
-  rng::Rng root(cfg_.seed);
-  rng::Rng rng_init = root.substream(0);
-  rng::Rng rng_obs = root.substream(1);
-  rng::Rng rng_modelerr = root.substream(2);
+  stream::SyntheticStreamConfig sc;
+  sc.seed = cfg_.seed;
+  stream::SyntheticStream obs_stream(sc, truth_model_, h_, r_, truth0);
 
-  truth_.assign(truth0.begin(), truth0.end());
+  stream::RealtimeConfig rc;
+  rc.n_members = cfg_.n_members;
+  rc.cycles = cfg_.cycles;
+  rc.window_hours = cfg_.window_hours;
+  rc.init_spread = cfg_.init_spread;
+  rc.seed = cfg_.seed;
+  rc.inject_model_error = cfg_.inject_model_error;
+  rc.model_error_shared = cfg_.model_error_shared;
+  rc.n_forecast_threads = cfg_.n_forecast_threads;
+  rc.schedule = stream::Schedule::Serial;
 
-  ens_.emplace(cfg_.n_members, d);
-  if (initial_ensemble != nullptr) {
-    TURBDA_REQUIRE(initial_ensemble->size() == cfg_.n_members &&
-                       initial_ensemble->dim() == d,
-                   "initial ensemble shape mismatch");
-    ens_->data() = initial_ensemble->data();
-  } else {
-    ens_->init_perturbed(truth0, cfg_.init_spread, rng_init);
-  }
+  stream::RealtimeRunner runner(rc, obs_stream, forecast_model_, filter_, model_error_);
+  if (hook_) runner.set_post_analysis_hook(hook_);
 
-  std::vector<double> y(h_.obs_dim());
-  std::vector<double> prev_mean = ens_->mean();
+  const auto sm = runner.run(truth0, initial_ensemble);
+
+  truth_ = obs_stream.latest_truth();
+  ens_.emplace(runner.ensemble());
+
   std::vector<CycleMetrics> metrics;
-  metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
-
-  for (int k = 0; k < cfg_.cycles; ++k) {
-    // --- forecast step -----------------------------------------------------
-    truth_model_.forecast(truth_);
-    std::vector<double> shared_err;
-    if (cfg_.inject_model_error && cfg_.model_error_shared) {
-      rng::Rng r_me = rng_modelerr.substream(static_cast<std::uint64_t>(k));
-      shared_err = model_error_->sample(d, r_me);
-    }
-    // Member forecasts are independent (disjoint state rows, per-member
-    // counter-based error substreams), so fan them out over the pool when
-    // the model supports concurrent stepping — bitwise identical to the
-    // serial loop for any thread count.
-    auto forecast_member = [&](std::size_t m) {
-      forecast_model_.forecast(ens_->member(m));
-      if (cfg_.inject_model_error) {
-        if (cfg_.model_error_shared) {
-          auto row = ens_->member(m);
-          for (std::size_t i = 0; i < d; ++i) row[i] += shared_err[i];
-        } else {
-          rng::Rng r_me = rng_modelerr.substream(
-              static_cast<std::uint64_t>(k) * cfg_.n_members + m + 1000000);
-          model_error_->apply(ens_->member(m), r_me);
-        }
-      }
-    };
-    if (forecast_model_.concurrent_safe() && cfg_.n_forecast_threads != 1) {
-      parallel::parallel_for(
-          cfg_.n_members,
-          [&](std::size_t b, std::size_t e) {
-            for (std::size_t m = b; m < e; ++m) forecast_member(m);
-          },
-          /*min_grain=*/1, cfg_.n_forecast_threads);
-    } else {
-      for (std::size_t m = 0; m < cfg_.n_members; ++m) forecast_member(m);
-    }
-
+  metrics.reserve(sm.size());
+  for (const auto& m : sm) {
     CycleMetrics cm;
-    cm.cycle = k;
-    cm.time_hours = (k + 1) * cfg_.window_hours;
-    cm.rmse_prior = rmse_vs_truth(*ens_, truth_);
-    cm.spread_prior = ens_->mean_spread();
-
-    // --- observation + analysis -------------------------------------------
-    if (filter_ != nullptr) {
-      h_.apply(truth_, y);
-      rng::Rng r_obs = rng_obs.substream(static_cast<std::uint64_t>(k));
-      r_.perturb(y, r_obs);
-      filter_->analyze(*ens_, y, h_, r_);
-    }
-    cm.rmse_post = rmse_vs_truth(*ens_, truth_);
-    cm.spread_post = ens_->mean_spread();
+    cm.cycle = m.cycle;
+    cm.time_hours = m.time_hours;
+    cm.rmse_prior = m.rmse_prior;
+    cm.rmse_post = m.rmse_post;
+    cm.spread_prior = m.spread_prior;
+    cm.spread_post = m.spread_post;
     metrics.push_back(cm);
-
-    if (hook_) {
-      const auto mean = ens_->mean();
-      hook_(k, mean);
-    }
-    prev_mean = ens_->mean();
   }
   return metrics;
 }

@@ -3,6 +3,12 @@
 // an ensemble driven by a (possibly imperfect, possibly surrogate) forecast
 // model assimilates them; RMSE/spread are logged per cycle. This is the
 // machinery behind Figs. 4 and 5.
+//
+// Since the streaming subsystem landed this is a thin facade: run() wires a
+// zero-latency stream::SyntheticStream into a stream::RealtimeRunner on the
+// serial schedule, which reproduces the historical in-line OSSE loop
+// bitwise (see test_stream.cpp). Latency/dropout/overlap knobs live on the
+// RealtimeRunner directly.
 #pragma once
 
 #include <cstdint>

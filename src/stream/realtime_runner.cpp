@@ -1,0 +1,384 @@
+#include "stream/realtime_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <thread>
+
+#include "common/check.hpp"
+#include "io/csv.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace turbda::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+/// Outcome of one cycle's batch collection: what to assimilate now, plus the
+/// deadline verdict for this window's own batch.
+struct RealtimeRunner::CollectResult {
+  std::vector<ObsBatch> apply;  ///< window order (stragglers first)
+  bool own_on_time = false;
+  double own_arrival = -1.0;
+  int discarded = 0;
+};
+
+RealtimeRunner::RealtimeRunner(RealtimeConfig cfg, ObservationStream& stream,
+                               models::ForecastModel& forecast_model, da::Filter* filter,
+                               const models::ModelErrorProcess* model_error)
+    : cfg_(cfg),
+      stream_(stream),
+      forecast_model_(forecast_model),
+      filter_(filter),
+      model_error_(model_error) {
+  TURBDA_REQUIRE(stream_.h().state_dim() == forecast_model_.dim(),
+                 "stream observation operator dim mismatch");
+  TURBDA_REQUIRE(cfg_.cycles >= 1 && cfg_.n_members >= 2, "bad realtime configuration");
+  TURBDA_REQUIRE(cfg_.deadline_slack_cycles >= 0.0 && cfg_.max_stale_cycles >= 0,
+                 "bad deadline configuration");
+  if (cfg_.inject_model_error)
+    TURBDA_REQUIRE(model_error_ != nullptr,
+                   "inject_model_error requires a ModelErrorProcess instance");
+}
+
+const da::Ensemble& RealtimeRunner::ensemble() const {
+  TURBDA_REQUIRE(ens_.has_value(), "ensemble available only after run()");
+  return *ens_;
+}
+
+std::vector<double> RealtimeRunner::draw_shared_error(int cycle) const {
+  if (!(cfg_.inject_model_error && cfg_.model_error_shared)) return {};
+  rng::Rng r_me = rng_modelerr_->substream(static_cast<std::uint64_t>(cycle));
+  return model_error_->sample(forecast_model_.dim(), r_me);
+}
+
+/// Identical to the offline OSSE member loop: disjoint state rows +
+/// counter-based model-error substreams make it bitwise invariant to the
+/// thread count and to the schedule.
+void RealtimeRunner::forecast_one_member(int cycle, std::size_t m,
+                                         const std::vector<double>& shared_err) {
+  forecast_model_.forecast(ens_->member(m));
+  if (cfg_.inject_model_error) {
+    if (cfg_.model_error_shared) {
+      auto row = ens_->member(m);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += shared_err[i];
+    } else {
+      rng::Rng r_me = rng_modelerr_->substream(
+          static_cast<std::uint64_t>(cycle) * cfg_.n_members + m + 1000000);
+      model_error_->apply(ens_->member(m), r_me);
+    }
+  }
+}
+
+void RealtimeRunner::forecast_members(int cycle) {
+  const std::vector<double> shared_err = draw_shared_error(cycle);
+  if (forecast_model_.concurrent_safe() && cfg_.n_forecast_threads != 1) {
+    parallel::parallel_for(
+        cfg_.n_members,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t m = b; m < e; ++m) forecast_one_member(cycle, m, shared_err);
+        },
+        /*min_grain=*/1, cfg_.n_forecast_threads);
+  } else {
+    for (std::size_t m = 0; m < cfg_.n_members; ++m) forecast_one_member(cycle, m, shared_err);
+  }
+}
+
+void RealtimeRunner::discard_unconsumed(int cycle) {
+  std::vector<ObsBatch> drained;
+  stream_.collect(static_cast<double>(cycle + 1) + cfg_.deadline_slack_cycles, drained);
+}
+
+RealtimeRunner::CollectResult RealtimeRunner::collect_batches(int cycle) {
+  CollectResult res;
+  std::vector<ObsBatch> arrived;
+  stream_.collect(static_cast<double>(cycle + 1) + cfg_.deadline_slack_cycles, arrived);
+  for (auto& b : arrived) {
+    const int age = cycle - b.cycle;
+    if (age == 0) {
+      res.own_on_time = true;
+      res.own_arrival = b.arrival_cycles;
+      res.apply.push_back(std::move(b));
+    } else if (cfg_.catch_up && age <= cfg_.max_stale_cycles) {
+      res.apply.push_back(std::move(b));
+    } else {
+      ++res.discarded;
+    }
+  }
+  return res;
+}
+
+void RealtimeRunner::emulate_delivery_delay(const std::vector<ObsBatch>& batches,
+                                            int cycle) const {
+  if (cfg_.wall_ms_per_cycle <= 0.0 || batches.empty()) return;
+  double delay_cycles = 0.0;
+  for (const auto& b : batches)
+    delay_cycles = std::max(delay_cycles, b.arrival_cycles - static_cast<double>(cycle + 1));
+  if (delay_cycles <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_cycles * cfg_.wall_ms_per_cycle));
+}
+
+std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base,
+                                                    const da::Ensemble* initial_ensemble) {
+  const std::size_t d = forecast_model_.dim();
+  TURBDA_REQUIRE(base.size() == d, "initial state size mismatch");
+
+  rng::Rng root(cfg_.seed);
+  rng::Rng rng_init = root.substream(0);
+  rng_modelerr_ = root.substream(2);
+
+  ens_.emplace(cfg_.n_members, d);
+  if (initial_ensemble != nullptr) {
+    TURBDA_REQUIRE(initial_ensemble->size() == cfg_.n_members && initial_ensemble->dim() == d,
+                   "initial ensemble shape mismatch");
+    ens_->data() = initial_ensemble->data();
+  } else {
+    ens_->init_perturbed(base, cfg_.init_spread, rng_init);
+  }
+
+  return cfg_.schedule == Schedule::Serial ? run_serial() : run_overlapped();
+}
+
+std::vector<StreamCycleMetrics> RealtimeRunner::run_serial() {
+  std::vector<StreamCycleMetrics> metrics;
+  metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
+
+  for (int k = 0; k < cfg_.cycles; ++k) {
+    const auto t_cycle = Clock::now();
+    StreamCycleMetrics cm;
+    cm.cycle = k;
+    cm.time_hours = (k + 1) * cfg_.window_hours;
+
+    stream_.produce(k);
+
+    const auto t_fcst = Clock::now();
+    forecast_members(k);
+    cm.forecast_ms = ms_since(t_fcst);
+
+    const auto truth = stream_.truth(k);
+    TURBDA_REQUIRE(!truth.empty(), "stream did not retain the truth state for this cycle");
+    cm.rmse_prior = rmse_vs_truth(*ens_, truth);
+    cm.spread_prior = ens_->mean_spread();
+
+    if (filter_ != nullptr) {
+      CollectResult col = collect_batches(k);
+      cm.deadline_miss = !col.own_on_time;
+      cm.obs_arrival_cycles = col.own_arrival;
+      cm.batches_discarded = col.discarded;
+      if (!col.apply.empty()) {
+        emulate_delivery_delay(col.apply, k);
+        const auto t_an = Clock::now();
+        for (const auto& b : col.apply) {
+          filter_->analyze(*ens_, b.y, stream_.h(), stream_.r());
+          ++cm.batches_assimilated;
+          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
+        }
+        cm.analysis_ms = ms_since(t_an);
+      }
+    } else {
+      discard_unconsumed(k);
+    }
+    cm.rmse_post = rmse_vs_truth(*ens_, truth);
+    cm.spread_post = ens_->mean_spread();
+    cm.cycle_ms = ms_since(t_cycle);
+    metrics.push_back(cm);
+
+    if (hook_) {
+      const auto mean = ens_->mean();
+      hook_(k, mean);
+    }
+  }
+  return metrics;
+}
+
+std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
+  auto& pool = parallel::global_pool();
+  std::vector<StreamCycleMetrics> metrics;
+  metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
+
+  // Prologue: nothing to overlap with yet — produce and forecast window 0.
+  stream_.produce(0);
+  forecast_members(0);
+
+  // Double buffer: the analysis for cycle k runs on a copy while the
+  // ensemble itself forecasts ahead; the increment lands one cycle later.
+  // Allocated once on first use, reused (assignment keeps capacity) so the
+  // hot loop stays allocation-free after warm-up.
+  std::optional<da::Ensemble> buf_prior, buf_post;
+  bool have_increment = false;
+
+  for (int k = 0; k < cfg_.cycles; ++k) {
+    const auto t_cycle = Clock::now();
+    StreamCycleMetrics cm;
+    cm.cycle = k;
+    cm.time_hours = (k + 1) * cfg_.window_hours;
+
+    const auto truth = stream_.truth(k);
+    TURBDA_REQUIRE(!truth.empty(), "stream did not retain the truth state for this cycle");
+    cm.rmse_prior = rmse_vs_truth(*ens_, truth);
+    cm.spread_prior = ens_->mean_spread();
+
+    // Apply the lagged increment from cycle k-1's analysis.
+    if (have_increment) {
+      for (std::size_t m = 0; m < cfg_.n_members; ++m) {
+        auto row = ens_->member(m);
+        const auto post = buf_post->member(m);
+        const auto prior = buf_prior->member(m);
+        for (std::size_t i = 0; i < row.size(); ++i) row[i] += post[i] - prior[i];
+      }
+      have_increment = false;
+    }
+
+    CollectResult col;
+    if (filter_ != nullptr) {
+      col = collect_batches(k);
+      cm.deadline_miss = !col.own_on_time;
+      cm.obs_arrival_cycles = col.own_arrival;
+      cm.batches_discarded = col.discarded;
+    } else {
+      discard_unconsumed(k);
+    }
+
+    const bool last = (k + 1 == cfg_.cycles);
+    if (last) {
+      // Drain synchronously so the final ensemble reflects every batch.
+      if (!col.apply.empty()) {
+        emulate_delivery_delay(col.apply, k);
+        const auto t_an = Clock::now();
+        for (const auto& b : col.apply) {
+          filter_->analyze(*ens_, b.y, stream_.h(), stream_.r());
+          ++cm.batches_assimilated;
+          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
+        }
+        cm.analysis_ms = ms_since(t_an);
+      }
+      cm.rmse_post = rmse_vs_truth(*ens_, truth);
+      cm.spread_post = ens_->mean_spread();
+      cm.cycle_ms = ms_since(t_cycle);
+      metrics.push_back(cm);
+      if (hook_) {
+        const auto mean = ens_->mean();
+        hook_(k, mean);
+      }
+      break;
+    }
+
+    // Post metrics reflect the state after this cycle's update step (the
+    // lagged increment); this cycle's own analysis lands at k+1.
+    cm.rmse_post = rmse_vs_truth(*ens_, truth);
+    cm.spread_post = ens_->mean_spread();
+    if (hook_) {
+      const auto mean = ens_->mean();
+      hook_(k, mean);
+    }
+
+    // Stage this cycle's analysis on the side buffer...
+    const bool staged = !col.apply.empty();
+    if (staged) {
+      if (buf_prior.has_value()) {
+        buf_prior->data() = ens_->data();
+        buf_post->data() = ens_->data();
+      } else {
+        buf_prior.emplace(*ens_);
+        buf_post.emplace(*ens_);
+      }
+    }
+
+    // ...then fan the next window out over the pool: the stream's producer
+    // and the member forecasts for k+1 run concurrently with the analysis
+    // below. Per-member work is partition-independent, so this stays
+    // bitwise identical for any pool size.
+    const int k1 = k + 1;
+    const std::vector<double> shared_err = draw_shared_error(k1);
+
+    const auto t_fcst = Clock::now();
+    std::vector<std::future<void>> tasks;
+    tasks.push_back(pool.submit([this, k1] { stream_.produce(k1); }));
+    std::size_t par = std::max<std::size_t>(pool.size(), 1);
+    if (cfg_.n_forecast_threads != 0) par = std::min(par, cfg_.n_forecast_threads);
+    if (!forecast_model_.concurrent_safe()) par = 1;
+    par = std::min(par, cfg_.n_members);
+    const std::size_t chunk = (cfg_.n_members + par - 1) / par;
+    for (std::size_t b = 0; b < cfg_.n_members; b += chunk) {
+      const std::size_t e = std::min(b + chunk, cfg_.n_members);
+      tasks.push_back(pool.submit([this, k1, b, e, &shared_err] {
+        for (std::size_t m = b; m < e; ++m) forecast_one_member(k1, m, shared_err);
+      }));
+    }
+
+    // Inline analysis on the caller thread: its internal parallel_for
+    // interleaves with the forecast tasks on the shared pool.
+    std::exception_ptr err;
+    if (staged) {
+      try {
+        emulate_delivery_delay(col.apply, k);
+        const auto t_an = Clock::now();
+        for (const auto& b : col.apply) {
+          filter_->analyze(*buf_post, b.y, stream_.h(), stream_.r());
+          ++cm.batches_assimilated;
+          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
+        }
+        cm.analysis_ms = ms_since(t_an);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    for (auto& t : tasks) {
+      try {
+        t.get();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+    have_increment = staged;
+
+    cm.forecast_ms = ms_since(t_fcst);
+    cm.cycle_ms = ms_since(t_cycle);
+    metrics.push_back(cm);
+  }
+  return metrics;
+}
+
+void write_stream_metrics_csv(const std::string& path,
+                              std::span<const StreamCycleMetrics> metrics) {
+  io::CsvWriter csv(path, {"cycle", "time_hours", "rmse_prior", "rmse_post", "spread_prior",
+                           "spread_post", "batches_assimilated", "batches_discarded",
+                           "max_batch_age", "deadline_miss", "obs_arrival_cycles",
+                           "forecast_ms", "analysis_ms", "cycle_ms"});
+  for (const auto& m : metrics) {
+    csv.row({static_cast<double>(m.cycle), m.time_hours, m.rmse_prior, m.rmse_post,
+             m.spread_prior, m.spread_post, static_cast<double>(m.batches_assimilated),
+             static_cast<double>(m.batches_discarded), static_cast<double>(m.max_batch_age),
+             m.deadline_miss ? 1.0 : 0.0, m.obs_arrival_cycles, m.forecast_ms, m.analysis_ms,
+             m.cycle_ms});
+  }
+}
+
+double mean_rmse_post(std::span<const StreamCycleMetrics> metrics, int from_cycle) {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& m : metrics)
+    if (m.cycle >= from_cycle) {
+      s += m.rmse_post;
+      ++n;
+    }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+int count_deadline_misses(std::span<const StreamCycleMetrics> metrics) {
+  int n = 0;
+  for (const auto& m : metrics) n += m.deadline_miss ? 1 : 0;
+  return n;
+}
+
+}  // namespace turbda::stream

@@ -1,0 +1,159 @@
+// Deadline-aware cycling driver: turns the fast analysis (PR 1) and forecast
+// (PR 2) halves into a real-time assimilation service driven by an
+// ObservationStream.
+//
+// Two schedules:
+//
+//  - Serial: forecast -> (wait for obs) -> analyze, one cycle at a time.
+//    With a zero-latency in-order stream this reproduces the offline OSSE
+//    loop bitwise (OsseRunner is exactly this configuration).
+//
+//  - Overlapped: a double-buffered pipeline. After the member forecasts for
+//    cycle k finish, the ensemble is copied into a side buffer, the analysis
+//    for cycle k runs on that buffer while the next window's member
+//    forecasts (and the stream's producer) run on the ThreadPool, and the
+//    resulting analysis increment is applied to the ensemble when the cycle
+//    k+1 forecast lands (a one-window incremental-update lag, the price of
+//    hiding analysis + delivery latency behind forecast compute). The last
+//    cycle drains synchronously so the final ensemble reflects every batch.
+//
+// Deadline semantics: the batch observing window k is "on time" if its
+// virtual arrival stamp is <= (k + 1) + deadline_slack_cycles; an on-time
+// batch is assimilated at its own cycle. A late batch falls back to
+// forecast-only for that cycle and, when catch_up is enabled, is assimilated
+// at the first later cycle whose analysis point its arrival precedes —
+// unless it is staler than max_stale_cycles, in which case it is discarded.
+// All of these decisions compare virtual stamps, so degraded-delivery runs
+// are bitwise repeatable across thread counts; wall-clock is only measured
+// (per-cycle latency metrics) or, when wall_ms_per_cycle > 0, used to
+// *emulate* delivery delay by sleeping — which never changes the numbers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "da/ensemble.hpp"
+#include "da/filter.hpp"
+#include "models/forecast_model.hpp"
+#include "models/model_error.hpp"
+#include "stream/observation_stream.hpp"
+
+namespace turbda::stream {
+
+enum class Schedule {
+  Serial,     ///< forecast and analysis strictly in sequence (OSSE-equivalent)
+  Overlapped  ///< analysis overlapped with the next forecast (1-cycle lag)
+};
+
+struct RealtimeConfig {
+  std::size_t n_members = 20;
+  int cycles = 60;
+  double window_hours = 12.0;  ///< time axis for the metrics
+  double init_spread = 1.0;    ///< initial member perturbation stddev
+  std::uint64_t seed = 42;     ///< must match the stream's seed for OSSE replay
+  bool inject_model_error = false;
+  bool model_error_shared = true;
+  /// Worker threads for the member forecast loop (0 = all pool workers,
+  /// 1 = serial); bitwise identical for any value.
+  std::size_t n_forecast_threads = 0;
+
+  Schedule schedule = Schedule::Serial;
+  /// Grace period beyond the window end (in window units) before a batch
+  /// counts as late. 0 admits exactly the zero-latency batches.
+  double deadline_slack_cycles = 0.0;
+  /// Assimilate stragglers that arrive after their deadline at a later cycle.
+  bool catch_up = true;
+  /// Discard batches older than this many cycles at their analysis point.
+  int max_stale_cycles = 2;
+  /// When > 0, emulate delivery delay in wall-clock: before analyzing, the
+  /// driver sleeps (arrival - valid) * wall_ms_per_cycle milliseconds past
+  /// the forecast, as a real sensor link would impose. Purely a timing
+  /// emulation — results are bitwise identical with it on or off.
+  double wall_ms_per_cycle = 0.0;
+};
+
+/// Per-cycle record: the OSSE accuracy metrics plus delivery/deadline and
+/// wall-clock pipeline telemetry.
+struct StreamCycleMetrics {
+  int cycle = 0;
+  double time_hours = 0.0;
+  double rmse_prior = 0.0;
+  double rmse_post = 0.0;
+  double spread_prior = 0.0;
+  double spread_post = 0.0;
+  // Delivery telemetry (virtual time, deterministic).
+  int batches_assimilated = 0;  ///< analyze() calls issued at this cycle
+  int batches_discarded = 0;    ///< stragglers dropped by the staleness policy
+  int max_batch_age = 0;        ///< oldest applied batch, in cycles
+  bool deadline_miss = false;   ///< this window's own batch was late or lost
+  double obs_arrival_cycles = -1.0;  ///< arrival stamp of this window's batch
+  // Wall-clock telemetry (measured, machine-dependent).
+  double forecast_ms = 0.0;
+  double analysis_ms = 0.0;
+  double cycle_ms = 0.0;
+};
+
+/// Hook invoked after each cycle's update with (cycle, posterior mean).
+using CycleHook = std::function<void(int, std::span<const double>)>;
+
+class RealtimeRunner {
+ public:
+  /// `filter == nullptr` runs forecast-only (free run). `model_error` is
+  /// required when cfg.inject_model_error is set.
+  RealtimeRunner(RealtimeConfig cfg, ObservationStream& stream,
+                 models::ForecastModel& forecast_model, da::Filter* filter,
+                 const models::ModelErrorProcess* model_error = nullptr);
+
+  /// Runs cfg.cycles windows. The ensemble starts as `base` + N(0,
+  /// init_spread^2) member perturbations unless `initial_ensemble` is given.
+  std::vector<StreamCycleMetrics> run(std::span<const double> base,
+                                      const da::Ensemble* initial_ensemble = nullptr);
+
+  void set_post_analysis_hook(CycleHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] const da::Ensemble& ensemble() const;
+
+ private:
+  struct CollectResult;
+
+  /// Window-`cycle` shared model-error realization (empty unless configured).
+  [[nodiscard]] std::vector<double> draw_shared_error(int cycle) const;
+  /// One member's forecast + model error — the single definition both
+  /// schedules use, so the bitwise serial==overlapped invariant cannot
+  /// drift apart.
+  void forecast_one_member(int cycle, std::size_t m,
+                           const std::vector<double>& shared_err);
+  void forecast_members(int cycle);
+  CollectResult collect_batches(int cycle);
+  /// Free-run path: batches are produced but never analyzed — drain them so
+  /// the stream's pending queue stays bounded.
+  void discard_unconsumed(int cycle);
+  void emulate_delivery_delay(const std::vector<ObsBatch>& batches, int cycle) const;
+
+  std::vector<StreamCycleMetrics> run_serial();
+  std::vector<StreamCycleMetrics> run_overlapped();
+
+  RealtimeConfig cfg_;
+  ObservationStream& stream_;
+  models::ForecastModel& forecast_model_;
+  da::Filter* filter_;
+  const models::ModelErrorProcess* model_error_;
+  CycleHook hook_;
+  std::optional<da::Ensemble> ens_;
+  std::optional<rng::Rng> rng_modelerr_;  ///< valid during run()
+};
+
+/// Writes the per-cycle records as CSV (one row per cycle).
+void write_stream_metrics_csv(const std::string& path,
+                              std::span<const StreamCycleMetrics> metrics);
+
+/// Scenario summary helpers for benches/examples.
+[[nodiscard]] double mean_rmse_post(std::span<const StreamCycleMetrics> metrics,
+                                    int from_cycle = 0);
+[[nodiscard]] int count_deadline_misses(std::span<const StreamCycleMetrics> metrics);
+
+}  // namespace turbda::stream

@@ -1,0 +1,83 @@
+#include "stream/synthetic_stream.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace turbda::stream {
+
+SyntheticStream::SyntheticStream(SyntheticStreamConfig cfg, models::ForecastModel& truth_model,
+                                 const da::ObservationOperator& h, const da::DiagonalR& r,
+                                 std::span<const double> truth0)
+    : cfg_(cfg),
+      truth_model_(truth_model),
+      h_(h),
+      r_(r),
+      rng_obs_(rng::Rng(cfg.seed).substream(1)),
+      rng_delivery_(rng::Rng(cfg.seed).substream(3)) {
+  TURBDA_REQUIRE(truth0.size() == truth_model_.dim(), "SyntheticStream: truth0 size mismatch");
+  TURBDA_REQUIRE(h_.state_dim() == truth_model_.dim(),
+                 "SyntheticStream: observation operator dim mismatch");
+  TURBDA_REQUIRE(r_.dim() == h_.obs_dim(), "SyntheticStream: R dim mismatch");
+  TURBDA_REQUIRE(cfg_.latency_cycles >= 0.0 && cfg_.jitter_cycles >= 0.0 &&
+                     cfg_.dropout_prob >= 0.0 && cfg_.dropout_prob <= 1.0 &&
+                     cfg_.truth_buffer >= 2,
+                 "SyntheticStream: bad delivery configuration");
+  truth_.assign(truth0.begin(), truth0.end());
+}
+
+void SyntheticStream::produce(int cycle) {
+  TURBDA_REQUIRE(cycle == produced_, "SyntheticStream: produce() must be called in cycle order");
+
+  // Nature run: same call sequence as the offline OSSE's truth forecast.
+  truth_model_.forecast(truth_);
+
+  // Observation values — substream keyed by cycle, so the numbers are
+  // independent of the delivery schedule and of collection order.
+  ObsBatch b;
+  b.cycle = cycle;
+  b.valid_cycles = static_cast<double>(cycle + 1);
+  b.y.resize(h_.obs_dim());
+  h_.apply(truth_, b.y);
+  rng::Rng r_obs = rng_obs_.substream(static_cast<std::uint64_t>(cycle));
+  r_.perturb(b.y, r_obs);
+
+  // Delivery schedule — its own substream family, so turning latency/jitter
+  // on or off never shifts the observation noise above.
+  rng::Rng r_del = rng_delivery_.substream(static_cast<std::uint64_t>(cycle));
+  const bool dropped = r_del.bernoulli(cfg_.dropout_prob);
+  const double jitter = cfg_.jitter_cycles > 0.0 ? cfg_.jitter_cycles * r_del.uniform() : 0.0;
+  b.arrival_cycles = b.valid_cycles + cfg_.latency_cycles + jitter;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_.emplace_back(cycle, truth_);
+  while (ring_.size() > static_cast<std::size_t>(cfg_.truth_buffer)) ring_.pop_front();
+  ++produced_;
+  if (dropped) {
+    ++dropped_;
+  } else {
+    pending_.push_back(std::move(b));
+  }
+}
+
+void SyntheticStream::collect(double now_cycles, std::vector<ObsBatch>& out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t first = out.size();
+  auto it = std::stable_partition(
+      pending_.begin(), pending_.end(),
+      [&](const ObsBatch& b) { return b.arrival_cycles > now_cycles; });
+  for (auto p = it; p != pending_.end(); ++p) out.push_back(std::move(*p));
+  pending_.erase(it, pending_.end());
+  // Stragglers assimilate before fresher batches: deliver in window order.
+  std::sort(out.begin() + static_cast<long>(first), out.end(),
+            [](const ObsBatch& a, const ObsBatch& b) { return a.cycle < b.cycle; });
+}
+
+std::span<const double> SyntheticStream::truth(int cycle) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [c, state] : ring_)
+    if (c == cycle) return state;
+  return {};
+}
+
+}  // namespace turbda::stream

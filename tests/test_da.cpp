@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "da/ensf.hpp"
@@ -454,6 +455,61 @@ TEST(Osse, FreeRunHasEqualPriorAndPost) {
     EXPECT_DOUBLE_EQ(m.rmse_prior, m.rmse_post);
     EXPECT_DOUBLE_EQ(m.spread_prior, m.spread_post);
   }
+}
+
+TEST(Osse, FreeRunIsPureEnsembleForecast) {
+  // The paper's "SQG only" configuration: filter == nullptr must reduce the
+  // runner to independent member integrations — no observation influence, no
+  // hidden perturbations — while still driving hooks and retaining truth.
+  Lorenz96Config mc;
+  mc.dim = 20;
+  mc.steps_per_window = 5;
+  Lorenz96 truth_model(mc), fcst_model(mc);
+  IdentityObs h(mc.dim);
+  DiagonalR r(mc.dim, 1.0);
+
+  OsseConfig cfg;
+  cfg.cycles = 4;
+  cfg.n_members = 4;
+  cfg.seed = 17;
+
+  std::vector<double> truth0(mc.dim, 8.0);
+  truth0[3] += 0.05;
+  Ensemble init(cfg.n_members, mc.dim);
+  Rng rng(3);
+  for (std::size_t m = 0; m < cfg.n_members; ++m) {
+    auto row = init.member(m);
+    for (std::size_t i = 0; i < row.size(); ++i) row[i] = truth0[i] + rng.gaussian(0.0, 0.5);
+  }
+
+  OsseRunner runner(cfg, truth_model, fcst_model, h, r, /*filter=*/nullptr);
+  int hook_calls = 0;
+  runner.set_post_analysis_hook([&](int cycle, std::span<const double> mean) {
+    EXPECT_EQ(cycle, hook_calls);
+    EXPECT_EQ(mean.size(), static_cast<std::size_t>(mc.dim));
+    ++hook_calls;
+  });
+  const auto metrics = runner.run(truth0, &init);
+
+  ASSERT_EQ(metrics.size(), static_cast<std::size_t>(cfg.cycles));
+  EXPECT_EQ(hook_calls, cfg.cycles);
+
+  // Each member must equal its own direct model integration, bitwise.
+  Lorenz96 direct(mc);
+  for (std::size_t m = 0; m < cfg.n_members; ++m) {
+    std::vector<double> state(init.member(m).begin(), init.member(m).end());
+    for (int k = 0; k < cfg.cycles; ++k) direct.forecast(state);
+    const auto got = runner.ensemble().member(m);
+    EXPECT_EQ(0, std::memcmp(got.data(), state.data(), state.size() * sizeof(double)))
+        << "member " << m;
+  }
+
+  // And the retained truth is the direct truth integration, bitwise.
+  std::vector<double> truth = truth0;
+  for (int k = 0; k < cfg.cycles; ++k) direct.forecast(truth);
+  ASSERT_EQ(runner.final_truth().size(), truth.size());
+  EXPECT_EQ(0, std::memcmp(runner.final_truth().data(), truth.data(),
+                           truth.size() * sizeof(double)));
 }
 
 TEST(Osse, EnsfBeatsFreeRunOnLorenz96) {
