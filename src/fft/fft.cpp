@@ -41,46 +41,105 @@ Fft1D::Fft1D(std::size_t n) : n_(n) {
 void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
   TURBDA_REQUIRE(x.size() == n_, "FFT input length " << x.size() << " != plan length " << n_);
   if (n_ == 1) return;
+  // The butterflies run on the raw (re, im) doubles — std::complex guarantees
+  // array-compatible layout, and spelling the arithmetic out keeps the
+  // compiler from round-tripping values through memory between operations.
+  double* d = reinterpret_cast<double*>(x.data());
   // Bit-reversal permutation.
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-  // Stage len = 2: twiddle is exactly 1.
-  for (std::size_t base = 0; base < n_; base += 2) {
-    const Cplx u = x[base];
-    const Cplx t = x[base + 1];
-    x[base] = u + t;
-    x[base + 1] = u - t;
-  }
-  // Stage len = 4: twiddles are exactly 1 and -i (forward) / +i (inverse).
-  if (n_ >= 4) {
-    for (std::size_t base = 0; base < n_; base += 4) {
-      const Cplx u0 = x[base];
-      const Cplx t0 = x[base + 2];
-      x[base] = u0 + t0;
-      x[base + 2] = u0 - t0;
-      const Cplx u1 = x[base + 1];
-      const Cplx v = x[base + 3];
-      const Cplx t1 = inverse ? Cplx(-v.imag(), v.real()) : Cplx(v.imag(), -v.real());
-      x[base + 1] = u1 + t1;
-      x[base + 3] = u1 - t1;
+  // Stages len = 2 and 4 fused: twiddles are exactly 1 and -i (forward) /
+  // +i (inverse), so the 4-point butterfly carries no multiplies at all.
+  if (n_ == 2) {
+    const double ur = d[0], ui = d[1], tr = d[2], ti = d[3];
+    d[0] = ur + tr;
+    d[1] = ui + ti;
+    d[2] = ur - tr;
+    d[3] = ui - ti;
+  } else {
+    const double isign = inverse ? 1.0 : -1.0;
+    for (std::size_t base = 0; base < 2 * n_; base += 8) {
+      double* p = d + base;
+      const double a0r = p[0] + p[2], a0i = p[1] + p[3];  // stage len 2
+      const double a1r = p[0] - p[2], a1i = p[1] - p[3];
+      const double a2r = p[4] + p[6], a2i = p[5] + p[7];
+      const double a3r = p[4] - p[6], a3i = p[5] - p[7];
+      const double b3r = -isign * a3i, b3i = isign * a3r;  // (-+i) * a3
+      p[0] = a0r + a2r;  // stage len 4
+      p[1] = a0i + a2i;
+      p[4] = a0r - a2r;
+      p[5] = a0i - a2i;
+      p[2] = a1r + b3r;
+      p[3] = a1i + b3i;
+      p[6] = a1r - b3r;
+      p[7] = a1i - b3i;
     }
   }
-  // General stages: contiguous per-stage twiddle tables.
+  // General stages, fused in pairs (radix-2^2): one pass performs stages s
+  // and s+1 back to back on each 2^(s+1)-point block, with the exact same
+  // per-element arithmetic (and thus bitwise results) as two separate
+  // passes, but half the sweeps over the data and twice the independent
+  // work per loop iteration.
   const auto& stages = inverse ? stage_inv_ : stage_fwd_;
-  for (int s = 3; s <= log2n_; ++s) {
-    const std::size_t len = std::size_t{1} << s;
-    const std::size_t half = len / 2;
-    const Cplx* tw = stages[static_cast<std::size_t>(s)].data();
-    for (std::size_t base = 0; base < n_; base += len) {
-      Cplx* lo = x.data() + base;
-      Cplx* hi = lo + half;
+  int s = 3;
+  for (; s + 1 <= log2n_; s += 2) {
+    const std::size_t half = std::size_t{1} << (s - 1);  // half of stage s
+    const std::size_t len4 = 4 * half;                   // fused block length
+    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
+    const double* tw1 =
+        reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s) + 1].data());
+    for (std::size_t base = 0; base < n_; base += len4) {
+      double* p0 = d + 2 * base;
+      double* p1 = p0 + 2 * half;
+      double* p2 = p1 + 2 * half;
+      double* p3 = p2 + 2 * half;
       for (std::size_t k = 0; k < half; ++k) {
-        const Cplx u = lo[k];
-        const Cplx t = tw[k] * hi[k];
-        lo[k] = u + t;
-        hi[k] = u - t;
+        const double wr = tw[2 * k], wi = tw[2 * k + 1];
+        const double ar = p0[2 * k], ai = p0[2 * k + 1];
+        const double br = p1[2 * k], bi = p1[2 * k + 1];
+        const double cr = p2[2 * k], ci = p2[2 * k + 1];
+        const double dr = p3[2 * k], di = p3[2 * k + 1];
+        // Stage s: (a, b) and (c, d), both with twiddle w.
+        const double tbr = wr * br - wi * bi, tbi = wr * bi + wi * br;
+        const double tdr = wr * dr - wi * di, tdi = wr * di + wi * dr;
+        const double uar = ar + tbr, uai = ai + tbi;
+        const double ubr = ar - tbr, ubi = ai - tbi;
+        const double ucr = cr + tdr, uci = ci + tdi;
+        const double udr = cr - tdr, udi = ci - tdi;
+        // Stage s+1: (a, c) with tw1[k], (b, d) with tw1[k + half].
+        const double v0r = tw1[2 * k], v0i = tw1[2 * k + 1];
+        const double v1r = tw1[2 * (k + half)], v1i = tw1[2 * (k + half) + 1];
+        const double tcr = v0r * ucr - v0i * uci, tci = v0r * uci + v0i * ucr;
+        const double ter = v1r * udr - v1i * udi, tei = v1r * udi + v1i * udr;
+        p0[2 * k] = uar + tcr;
+        p0[2 * k + 1] = uai + tci;
+        p2[2 * k] = uar - tcr;
+        p2[2 * k + 1] = uai - tci;
+        p1[2 * k] = ubr + ter;
+        p1[2 * k + 1] = ubi + tei;
+        p3[2 * k] = ubr - ter;
+        p3[2 * k + 1] = ubi - tei;
+      }
+    }
+  }
+  // Odd stage count: one remaining plain radix-2 pass.
+  if (s <= log2n_) {
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
+    for (std::size_t base = 0; base < n_; base += 2 * half) {
+      double* lo = d + 2 * base;
+      double* hi = lo + 2 * half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const double wr = tw[2 * k], wi = tw[2 * k + 1];
+        const double hr = hi[2 * k], hiq = hi[2 * k + 1];
+        const double tr = wr * hr - wi * hiq, ti = wr * hiq + wi * hr;
+        const double ur = lo[2 * k], ui = lo[2 * k + 1];
+        lo[2 * k] = ur + tr;
+        lo[2 * k + 1] = ui + ti;
+        hi[2 * k] = ur - tr;
+        hi[2 * k + 1] = ui - ti;
       }
     }
   }
@@ -184,16 +243,23 @@ namespace {
 
 constexpr std::size_t kTransposeBlock = 32;  // 16 KiB src + 16 KiB dst tiles
 
-/// Transposes `src` (r x c, row stride `ls`) into dense `dst` (c x r).
-void transpose_blocked(const Cplx* src, std::size_t ls, Cplx* dst, std::size_t r, std::size_t c) {
+/// Transposes `src` (r x c, row stride `ls`) into `dst` (c x r, row stride
+/// `lds`).
+void transpose_blocked(const Cplx* src, std::size_t ls, Cplx* dst, std::size_t lds, std::size_t r,
+                       std::size_t c) {
   for (std::size_t i0 = 0; i0 < r; i0 += kTransposeBlock) {
     const std::size_t i1 = std::min(r, i0 + kTransposeBlock);
     for (std::size_t j0 = 0; j0 < c; j0 += kTransposeBlock) {
       const std::size_t j1 = std::min(c, j0 + kTransposeBlock);
       for (std::size_t i = i0; i < i1; ++i)
-        for (std::size_t j = j0; j < j1; ++j) dst[j * r + i] = src[i * ls + j];
+        for (std::size_t j = j0; j < j1; ++j) dst[j * lds + i] = src[i * ls + j];
     }
   }
+}
+
+/// Dense (c x r) destination convenience overload.
+void transpose_blocked(const Cplx* src, std::size_t ls, Cplx* dst, std::size_t r, std::size_t c) {
+  transpose_blocked(src, ls, dst, r, r, c);
 }
 
 bool all_zero(const Cplx* p, std::size_t n) {
@@ -327,6 +393,95 @@ void Fft2D::inverse_real(std::span<const Cplx> spec, std::span<double> grid) con
       rrow_->inverse_inplace(std::span<Cplx>(hbuf.data() + i * nh, nh),
                              grid.subspan(i * n1_, n1_));
   });
+}
+
+// ---------------------------------------------------------------------------
+// Packed half-spectrum transforms: rows r2c -> transpose -> column FFTs over
+// the first min(kcut, n1/2) + 1 columns only -> transpose back. The pruned
+// forward masks |my| > kcut rows for free while writing the packed output;
+// the pruned inverse never touches the column transforms of truncated bins.
+// ---------------------------------------------------------------------------
+
+void Fft2D::half_forward_impl(std::span<const double> grid, std::span<Cplx> hspec,
+                              std::size_t kcut) const {
+  TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
+  TURBDA_REQUIRE(grid.size() == n0_ * n1_ && hspec.size() == half_size(),
+                 "forward_half: wrong buffer sizes (" << grid.size() << ", " << hspec.size()
+                                                      << ")");
+  const std::size_t nh = half_cols();
+  const std::size_t cols = std::min(kcut, n1_ / 2) + 1;
+  const long rowcut = static_cast<long>(std::min(kcut, n0_ / 2));
+
+  auto& hbuf = tls_buffer(0, n0_ * nh);
+  run_partitioned(n0_, /*min_grain=*/4, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      rrow_->forward(grid.subspan(i * n1_, n1_), std::span<Cplx>(hbuf.data() + i * nh, nh));
+  });
+
+  auto& tbuf = tls_buffer(1, cols * n0_);
+  transpose_blocked(hbuf.data(), nh, tbuf.data(), n0_, cols);
+  batch_transform(tbuf.data(), cols, n0_, col_, /*inverse=*/false, threads_);
+  transpose_blocked(tbuf.data(), n0_, hbuf.data(), cols, n0_);  // hbuf: dense n0 x cols
+
+  run_partitioned(n0_, /*min_grain=*/8, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      Cplx* out = hspec.data() + i * nh;
+      const long my = (i <= n0_ / 2) ? static_cast<long>(i)
+                                     : static_cast<long>(i) - static_cast<long>(n0_);
+      if (std::labs(my) > rowcut) {
+        std::fill(out, out + nh, Cplx(0.0, 0.0));
+        continue;
+      }
+      const Cplx* src = hbuf.data() + i * cols;
+      std::copy(src, src + cols, out);
+      std::fill(out + cols, out + nh, Cplx(0.0, 0.0));
+    }
+  });
+}
+
+void Fft2D::half_inverse_impl(std::span<const Cplx> hspec, std::span<double> grid,
+                              std::size_t kcut) const {
+  TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
+  TURBDA_REQUIRE(grid.size() == n0_ * n1_ && hspec.size() == half_size(),
+                 "inverse_half: wrong buffer sizes (" << grid.size() << ", " << hspec.size()
+                                                      << ")");
+  const std::size_t nh = half_cols();
+  const std::size_t cols = std::min(kcut, n1_ / 2) + 1;
+
+  auto& tbuf = tls_buffer(1, cols * n0_);
+  transpose_blocked(hspec.data(), nh, tbuf.data(), n0_, cols);
+  batch_transform(tbuf.data(), cols, n0_, col_, /*inverse=*/true, threads_);
+
+  auto& hbuf = tls_buffer(0, n0_ * nh);
+  if (cols < nh) {  // truncated tail bins are identically zero
+    for (std::size_t i = 0; i < n0_; ++i)
+      std::fill(hbuf.data() + i * nh + cols, hbuf.data() + (i + 1) * nh, Cplx(0.0, 0.0));
+  }
+  transpose_blocked(tbuf.data(), n0_, hbuf.data(), nh, cols, n0_);
+
+  run_partitioned(n0_, /*min_grain=*/4, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      rrow_->inverse_inplace(std::span<Cplx>(hbuf.data() + i * nh, nh),
+                             grid.subspan(i * n1_, n1_));
+  });
+}
+
+void Fft2D::forward_half(std::span<const double> grid, std::span<Cplx> hspec) const {
+  half_forward_impl(grid, hspec, std::max(n0_, n1_));
+}
+
+void Fft2D::inverse_half(std::span<const Cplx> hspec, std::span<double> grid) const {
+  half_inverse_impl(hspec, grid, std::max(n0_, n1_));
+}
+
+void Fft2D::forward_half_pruned(std::span<const double> grid, std::span<Cplx> hspec,
+                                std::size_t kcut) const {
+  half_forward_impl(grid, hspec, kcut);
+}
+
+void Fft2D::inverse_half_pruned(std::span<const Cplx> hspec, std::span<double> grid,
+                                std::size_t kcut) const {
+  half_inverse_impl(hspec, grid, kcut);
 }
 
 }  // namespace turbda::fft

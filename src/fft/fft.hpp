@@ -77,16 +77,34 @@ class Rfft1D {
   std::vector<Cplx> w_;  // exp(-2πi k / n), k <= n/4
 };
 
-/// 2-D FFT plan over row-major (n0 x n1) arrays. Real-grid transforms keep
-/// the full Hermitian-redundant (n0 x n1) complex spectrum layout at the API
-/// (the SQG solver's wavenumber tables index it directly) but compute through
-/// the half-spectrum pipeline internally.
+/// 2-D FFT plan over row-major (n0 x n1) arrays. Real grids have two spectrum
+/// layouts at the API:
+///
+///  - forward_real/inverse_real keep the full Hermitian-redundant (n0 x n1)
+///    complex layout (legacy; half of it is derivable from the other half);
+///  - forward_half/inverse_half use the packed non-redundant half spectrum:
+///    row-major n0 x (n1/2 + 1), where bin (i, j) holds wavenumber
+///    (my, mx) with my = i for i <= n0/2 else i - n0, and mx = j >= 0. The
+///    mirrored bins follow from X(-my, -mx) = conj(X(my, mx)). This is the
+///    layout the SQG solver stores its state in: half the memory and half
+///    the pointwise work of the full layout.
+///
+/// The *_pruned variants additionally exploit a square spectral truncation
+/// |mx| <= kcut, |my| <= kcut (the SQG 2/3 dealias rule): the forward computes
+/// only the retained bins and writes exact zeros elsewhere (the truncation
+/// comes for free), the inverse skips the column transforms of bins the
+/// caller guarantees are zero. Both skip roughly a third of the butterfly
+/// work at kcut = n/3.
 class Fft2D {
  public:
   Fft2D(std::size_t n0, std::size_t n1);
 
   [[nodiscard]] std::size_t rows() const { return n0_; }
   [[nodiscard]] std::size_t cols() const { return n1_; }
+
+  /// Packed half-spectrum shape: n0 x (n1/2 + 1).
+  [[nodiscard]] std::size_t half_cols() const { return n1_ / 2 + 1; }
+  [[nodiscard]] std::size_t half_size() const { return n0_ * half_cols(); }
 
   /// Worker-thread cap for the row/column transform batches: 1 = serial
   /// (default), 0 = all pool workers. Any value yields bitwise-identical
@@ -106,8 +124,35 @@ class Fft2D {
   /// read.
   void inverse_real(std::span<const Cplx> spec, std::span<double> grid) const;
 
+  /// Real grid -> packed half spectrum (n0 x (n1/2+1), layout above).
+  /// Requires n1 >= 2 (rows go through the r2c transform).
+  void forward_half(std::span<const double> grid, std::span<Cplx> hspec) const;
+
+  /// Packed half spectrum -> real grid. Like inverse_real, `hspec` must be
+  /// the (possibly conjugate-symmetrically scaled) half spectrum of a real
+  /// field; `hspec` is not modified.
+  void inverse_half(std::span<const Cplx> hspec, std::span<double> grid) const;
+
+  /// As forward_half, but computes only the bins with |mx| <= kcut and
+  /// |my| <= kcut and writes exact zeros to the rest — the column transforms
+  /// of the truncated bins are skipped entirely.
+  void forward_half_pruned(std::span<const double> grid, std::span<Cplx> hspec,
+                           std::size_t kcut) const;
+
+  /// As inverse_half, but skips the column transforms for mx > kcut. The
+  /// caller must guarantee hspec is zero on those columns (e.g. a spectrum
+  /// produced by forward_half_pruned, scaled pointwise); bins with
+  /// |my| > kcut need no guarantee — zeros there merely make the retained
+  /// column transforms exact no-ops on those inputs.
+  void inverse_half_pruned(std::span<const Cplx> hspec, std::span<double> grid,
+                           std::size_t kcut) const;
+
  private:
   void transform2d(std::span<Cplx> x, bool inverse) const;
+  void half_forward_impl(std::span<const double> grid, std::span<Cplx> hspec,
+                         std::size_t kcut) const;
+  void half_inverse_impl(std::span<const Cplx> hspec, std::span<double> grid,
+                         std::size_t kcut) const;
 
   std::size_t n0_, n1_;
   std::size_t threads_ = 1;

@@ -11,20 +11,24 @@ namespace turbda::sqg {
 void SqgWorkspace::resize(std::size_t grid_n) {
   n = grid_n;
   const std::size_t nn = grid_n * grid_n;
-  psi.resize(2 * nn);
-  work.resize(nn);
-  jac.resize(nn);
+  const std::size_t ns = grid_n * (grid_n / 2 + 1);
+  psi.resize(2 * ns);
+  duh.resize(ns);
+  dvh.resize(ns);
+  dtx.resize(ns);
+  dty.resize(ns);
+  jac.resize(ns);
   gu.resize(nn);
   gv.resize(nn);
   gtx.resize(nn);
   gty.resize(nn);
   gj.resize(nn);
-  k1.resize(2 * nn);
-  k2.resize(2 * nn);
-  k3.resize(2 * nn);
-  k4.resize(2 * nn);
-  stage.resize(2 * nn);
-  spec.resize(2 * nn);
+  k1.resize(2 * ns);
+  k2.resize(2 * ns);
+  k3.resize(2 * ns);
+  k4.resize(2 * ns);
+  stage.resize(2 * ns);
+  spec.resize(2 * ns);
   // Diagnostics buffers (spec2/psi2/wutil/gutil) stay empty until a
   // diagnostics entry point asks for them.
 }
@@ -32,9 +36,10 @@ void SqgWorkspace::resize(std::size_t grid_n) {
 void SqgWorkspace::resize_diagnostics(std::size_t grid_n) {
   if (n != grid_n) resize(grid_n);
   const std::size_t nn = grid_n * grid_n;
-  spec2.resize(2 * nn);
-  psi2.resize(2 * nn);
-  wutil.resize(nn);
+  const std::size_t ns = grid_n * (grid_n / 2 + 1);
+  spec2.resize(2 * ns);
+  psi2.resize(2 * ns);
+  wutil.resize(ns);
   gutil.resize(nn);
 }
 
@@ -46,38 +51,57 @@ SqgWorkspace& tls_workspace(std::size_t n) {
   return *cache.back();
 }
 
-SqgModel::SqgModel(SqgConfig cfg) : cfg_(cfg), nn_(cfg.n * cfg.n), fft_(cfg.n, cfg.n) {
-  TURBDA_REQUIRE(is_pow2(cfg_.n), "SQG grid size must be a power of two");
+SqgModel::SqgModel(SqgConfig cfg)
+    : cfg_(cfg),
+      nn_(cfg.n * cfg.n),
+      nh_(cfg.n / 2 + 1),
+      ns_(cfg.n * (cfg.n / 2 + 1)),
+      kcut_(cfg.n / 3),
+      fft_(cfg.n, cfg.n) {
+  TURBDA_REQUIRE(is_pow2(cfg_.n) && cfg_.n >= 2,
+                 "SQG grid size must be a power of two (>= 2)");
   TURBDA_REQUIRE(cfg_.diff_order > 0 && cfg_.diff_order % 2 == 0, "diff_order must be even");
   TURBDA_REQUIRE(cfg_.dt > 0 && cfg_.L > 0 && cfg_.H > 0 && cfg_.f > 0 && cfg_.nsq > 0,
                  "bad SQG configuration");
   fft_.set_max_threads(cfg_.n_fft_threads);
 
-  const std::size_t n = cfg_.n;
-  kx_.resize(nn_);
-  ky_.resize(nn_);
-  ksq_.resize(nn_);
-  inv_kappa_.resize(nn_);
-  inv_sinh_.resize(nn_);
-  inv_tanh_.resize(nn_);
-  hyperdiff_.resize(nn_);
-  dealias_.resize(nn_);
+  kx_.resize(ns_);
+  ky_.resize(ns_);
+  ksq_.resize(ns_);
+  inv_kappa_.resize(ns_);
+  inv_sinh_.resize(ns_);
+  inv_tanh_.resize(ns_);
+  hyperdiff_.resize(ns_);
+
+  lambda_ = cfg_.U / cfg_.H;
+  if (cfg_.symmetric_shear) {
+    ubar_[0] = -0.5 * cfg_.U;
+    ubar_[1] = +0.5 * cfg_.U;
+  } else {
+    ubar_[0] = 0.0;
+    ubar_[1] = cfg_.U;
+  }
+  op_theta_[0].resize(ns_);
+  op_theta_[1].resize(ns_);
+  op_psi_[0].resize(ns_);
+  op_psi_[1].resize(ns_);
 
   const double bigN = std::sqrt(cfg_.nsq);
-  const auto ni = static_cast<long>(n);
-  const long kcut = ni / 3;  // 2/3 dealiasing rule
+  const double inv_tdiab = (cfg_.t_diab > 0.0) ? 1.0 / cfg_.t_diab : 0.0;
+  const auto ni = static_cast<long>(cfg_.n);
+  const auto kcut = static_cast<long>(kcut_);  // 2/3 dealiasing rule
   double kmax_retained = 0.0;
 
   for (long jy = 0; jy < ni; ++jy) {
     const long my = (jy <= ni / 2) ? jy : jy - ni;
-    for (long jx = 0; jx < ni; ++jx) {
-      const long mx = (jx <= ni / 2) ? jx : jx - ni;
-      const std::size_t p = static_cast<std::size_t>(jy) * n + static_cast<std::size_t>(jx);
+    for (long mx = 0; mx <= ni / 2; ++mx) {
+      const std::size_t p =
+          static_cast<std::size_t>(jy) * nh_ + static_cast<std::size_t>(mx);
       kx_[p] = kTwoPi * static_cast<double>(mx) / cfg_.L;
       ky_[p] = kTwoPi * static_cast<double>(my) / cfg_.L;
       ksq_[p] = kx_[p] * kx_[p] + ky_[p] * ky_[p];
-      dealias_[p] = (std::labs(mx) <= kcut && std::labs(my) <= kcut) ? 1 : 0;
-      if (dealias_[p]) kmax_retained = std::max(kmax_retained, std::sqrt(ksq_[p]));
+      const bool retained = mx <= kcut && std::labs(my) <= kcut;
+      if (retained) kmax_retained = std::max(kmax_retained, std::sqrt(ksq_[p]));
 
       if (ksq_[p] > 0.0) {
         const double bigK = std::sqrt(ksq_[p]);
@@ -92,59 +116,58 @@ SqgModel::SqgModel(SqgConfig cfg) : cfg_(cfg), nn_(cfg.n * cfg.n), fft_(cfg.n, c
         inv_sinh_[p] = 0.0;
         inv_tanh_[p] = 0.0;
       }
+
+      // Fused combine tables: every linear term of the tendency (mean-flow
+      // advection, meridional basic-state gradient, thermal relaxation,
+      // Ekman pumping) collapses into one complex coefficient per bin and
+      // level, with the dealias mask folded in — the combine loop carries
+      // no branches.
+      const double mask = retained ? 1.0 : 0.0;
+      for (int l = 0; l < 2; ++l) {
+        op_theta_[l][p] = mask * Cplx(-inv_tdiab, -kx_[p] * ubar_[l]);
+        const double ekman = (l == 0) ? cfg_.r_ekman * ksq_[p] : 0.0;
+        op_psi_[l][p] = mask * Cplx(ekman, lambda_ * kx_[p]);
+      }
     }
   }
 
   // Implicit hyperdiffusion: decay(K) = exp(-dt/efold * (K/Kmax)^order),
   // where Kmax is the largest retained (dealiased) wavenumber.
-  for (std::size_t p = 0; p < nn_; ++p) {
+  for (std::size_t p = 0; p < ns_; ++p) {
     const double kn = (kmax_retained > 0.0) ? std::sqrt(ksq_[p]) / kmax_retained : 0.0;
     const double rate = std::pow(kn, cfg_.diff_order) / cfg_.diff_efold;
     hyperdiff_[p] = std::exp(-cfg_.dt * rate);
   }
-
-  lambda_ = cfg_.U / cfg_.H;
-  if (cfg_.symmetric_shear) {
-    ubar_[0] = -0.5 * cfg_.U;
-    ubar_[1] = +0.5 * cfg_.U;
-  } else {
-    ubar_[0] = 0.0;
-    ubar_[1] = cfg_.U;
-  }
 }
 
 void SqgModel::to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const {
-  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == dim(),
+  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == spec_dim(),
                  "to_spectral: wrong buffer sizes");
-  for (int l = 0; l < 2; ++l) {
-    fft_.forward_real(theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_),
-                      theta_spec.subspan(static_cast<std::size_t>(l) * nn_, nn_));
-  }
-  // Keep state on the dealiased set (truncated dynamics).
-  for (int l = 0; l < 2; ++l) {
-    Cplx* s = theta_spec.data() + static_cast<std::size_t>(l) * nn_;
-    for (std::size_t p = 0; p < nn_; ++p)
-      if (!dealias_[p]) s[p] = Cplx(0.0, 0.0);
+  // The pruned forward keeps the state on the dealiased set (truncated
+  // dynamics) as a side effect of skipping the truncated column transforms.
+  for (std::size_t l = 0; l < 2; ++l) {
+    fft_.forward_half_pruned(theta_grid.subspan(l * nn_, nn_), theta_spec.subspan(l * ns_, ns_),
+                             kcut_);
   }
 }
 
 void SqgModel::to_grid(std::span<const Cplx> theta_spec, std::span<double> theta_grid) const {
-  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == dim(),
+  TURBDA_REQUIRE(theta_grid.size() == dim() && theta_spec.size() == spec_dim(),
                  "to_grid: wrong buffer sizes");
-  for (int l = 0; l < 2; ++l) {
-    fft_.inverse_real(theta_spec.subspan(static_cast<std::size_t>(l) * nn_, nn_),
-                      theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_));
+  for (std::size_t l = 0; l < 2; ++l) {
+    fft_.inverse_half_pruned(theta_spec.subspan(l * ns_, ns_), theta_grid.subspan(l * nn_, nn_),
+                             kcut_);
   }
 }
 
 void SqgModel::invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec) const {
-  TURBDA_REQUIRE(theta_spec.size() == 2 * nn_ && psi_spec.size() == 2 * nn_,
+  TURBDA_REQUIRE(theta_spec.size() == spec_dim() && psi_spec.size() == spec_dim(),
                  "invert: wrong buffer sizes");
   const Cplx* t0 = theta_spec.data();
-  const Cplx* t1 = theta_spec.data() + nn_;
+  const Cplx* t1 = theta_spec.data() + ns_;
   Cplx* p0 = psi_spec.data();
-  Cplx* p1 = psi_spec.data() + nn_;
-  for (std::size_t p = 0; p < nn_; ++p) {
+  Cplx* p1 = psi_spec.data() + ns_;
+  for (std::size_t p = 0; p < ns_; ++p) {
     p0[p] = inv_kappa_[p] * (t1[p] * inv_sinh_[p] - t0[p] * inv_tanh_[p]);
     p1[p] = inv_kappa_[p] * (t1[p] * inv_tanh_[p] - t0[p] * inv_sinh_[p]);
   }
@@ -152,54 +175,59 @@ void SqgModel::invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec
 
 void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out,
                         SqgWorkspace& ws) const {
+  TURBDA_REQUIRE(theta_spec.size() == spec_dim() && out.size() == spec_dim(),
+                 "tendency: wrong buffer sizes");
   if (ws.n != cfg_.n) ws.resize(cfg_.n);
-  invert(theta_spec, ws.psi);
-  const double inv_tdiab = (cfg_.t_diab > 0.0) ? 1.0 / cfg_.t_diab : 0.0;
+  const Cplx* t0 = theta_spec.data();
+  const Cplx* t1 = theta_spec.data() + ns_;
 
   for (std::size_t l = 0; l < 2; ++l) {
-    const Cplx* th = theta_spec.data() + l * nn_;
-    const Cplx* ps = ws.psi.data() + l * nn_;
-    Cplx* dth = out.data() + l * nn_;
-    const Cplx iu(0.0, 1.0);
+    const Cplx* th = theta_spec.data() + l * ns_;
+    Cplx* ps = ws.psi.data() + l * ns_;
 
-    // Grid-space velocities and theta gradients: u = -psi_y, v = psi_x.
-    // Two Hermitian spectra share one inverse transform: ifft(U + iV) has
-    // the real inverse of U in its real part and of V in its imaginary part.
-    //   u + i v: uhat + i*vhat = -psi_hat * (kx + i ky)
-    //   tx + i ty: txhat + i*tyhat = theta_hat * (-ky + i kx)
-    for (std::size_t p = 0; p < nn_; ++p) ws.work[p] = -ps[p] * Cplx(kx_[p], ky_[p]);
-    fft_.inverse(ws.work);
-    for (std::size_t p = 0; p < nn_; ++p) {
-      ws.gu[p] = ws.work[p].real();
-      ws.gv[p] = ws.work[p].imag();
-    }
-    for (std::size_t p = 0; p < nn_; ++p) ws.work[p] = th[p] * Cplx(-ky_[p], kx_[p]);
-    fft_.inverse(ws.work);
-    for (std::size_t p = 0; p < nn_; ++p) {
-      ws.gtx[p] = ws.work[p].real();
-      ws.gty[p] = ws.work[p].imag();
+    // Pass 1 (fused, branch-free): boundary inversion plus the four
+    // derivative half-spectra in a single traversal. u = -psi_y, v = psi_x;
+    // a multiply by i*k is spelled out as (re, im) -> (-k*im, k*re).
+    const double* cA = (l == 0) ? inv_sinh_.data() : inv_tanh_.data();
+    const double* cB = (l == 0) ? inv_tanh_.data() : inv_sinh_.data();
+    for (std::size_t p = 0; p < ns_; ++p) {
+      const Cplx psv = inv_kappa_[p] * (t1[p] * cA[p] - t0[p] * cB[p]);
+      ps[p] = psv;
+      const double kxv = kx_[p];
+      const double kyv = ky_[p];
+      const Cplx thv = th[p];
+      ws.duh[p] = Cplx(kyv * psv.imag(), -kyv * psv.real());   // -i ky psi
+      ws.dvh[p] = Cplx(-kxv * psv.imag(), kxv * psv.real());   // +i kx psi
+      ws.dtx[p] = Cplx(-kxv * thv.imag(), kxv * thv.real());   // +i kx theta
+      ws.dty[p] = Cplx(-kyv * thv.imag(), kyv * thv.real());   // +i ky theta
     }
 
-    // Nonlinear advection J(psi, theta) = u theta_x + v theta_y.
+    // Pruned c2r transforms to grid space (the state is dealiased, so the
+    // truncated columns are zero and their transforms are skipped).
+    fft_.inverse_half_pruned(ws.duh, ws.gu, kcut_);
+    fft_.inverse_half_pruned(ws.dvh, ws.gv, kcut_);
+    fft_.inverse_half_pruned(ws.dtx, ws.gtx, kcut_);
+    fft_.inverse_half_pruned(ws.dty, ws.gty, kcut_);
+
+    // Nonlinear advection J(psi, theta) = u theta_x + v theta_y; the pruned
+    // r2c both transforms and 2/3-truncates it in one go.
     for (std::size_t p = 0; p < nn_; ++p) ws.gj[p] = ws.gu[p] * ws.gtx[p] + ws.gv[p] * ws.gty[p];
-    fft_.forward_real(ws.gj, ws.jac);
+    fft_.forward_half_pruned(ws.gj, ws.jac, kcut_);
 
-    const double ub = ubar_[l];
-    for (std::size_t p = 0; p < nn_; ++p) {
-      Cplx t = dealias_[p] ? -ws.jac[p] : Cplx(0.0, 0.0);  // -J, dealiased
-      t -= iu * kx_[p] * ub * th[p];                       // mean-flow advection
-      t += lambda_ * iu * kx_[p] * ps[p];                  // -v * d(thetabar)/dy
-      t -= inv_tdiab * th[p];                              // thermal relaxation
-      if (l == 0 && cfg_.r_ekman != 0.0) t += cfg_.r_ekman * ksq_[p] * ps[p];  // Ekman pumping
-      dth[p] = t;
-    }
+    // Pass 2 (fused, branch-free combine): all linear physics lives in the
+    // precomputed per-level tables; the Jacobian arrives already dealiased.
+    const Cplx* lt = op_theta_[l].data();
+    const Cplx* lp = op_psi_[l].data();
+    const Cplx* jc = ws.jac.data();
+    Cplx* dth = out.data() + l * ns_;
+    for (std::size_t p = 0; p < ns_; ++p) dth[p] = lt[p] * th[p] + lp[p] * ps[p] - jc[p];
   }
 }
 
 void SqgModel::apply_hyperdiffusion(std::span<Cplx> theta_spec) const {
   for (std::size_t l = 0; l < 2; ++l) {
-    Cplx* s = theta_spec.data() + l * nn_;
-    for (std::size_t p = 0; p < nn_; ++p) s[p] *= hyperdiff_[p];
+    Cplx* s = theta_spec.data() + l * ns_;
+    for (std::size_t p = 0; p < ns_; ++p) s[p] *= hyperdiff_[p];
   }
 }
 
@@ -207,7 +235,7 @@ void SqgModel::step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) 
   if (ws.n != cfg_.n) ws.resize(cfg_.n);
   to_spectral(theta_grid, ws.spec);
   const double dt = cfg_.dt;
-  const std::size_t m = 2 * nn_;
+  const std::size_t m = 2 * ns_;
   for (int s = 0; s < nsteps; ++s) {
     tendency(ws.spec, ws.k1, ws);
     for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k1[i];
@@ -235,22 +263,22 @@ void SqgModel::random_init(std::span<double> theta_grid, rng::Rng& rng, double r
   // White noise -> spectral ring filter |m| <= k_peak -> rescale. Doing the
   // filtering via a real grid round-trip keeps the field exactly real.
   std::span<double> noise(ws.gutil.data(), nn_);
-  std::span<Cplx> spec(ws.wutil.data(), nn_);
+  std::span<Cplx> spec(ws.wutil.data(), ns_);
   const auto ni = static_cast<long>(cfg_.n);
-  for (int l = 0; l < 2; ++l) {
+  for (std::size_t l = 0; l < 2; ++l) {
     rng.fill_gaussian(noise);
-    fft_.forward_real(noise, spec);
+    fft_.forward_half(noise, spec);
     for (long jy = 0; jy < ni; ++jy) {
       const long my = (jy <= ni / 2) ? jy : jy - ni;
-      for (long jx = 0; jx < ni; ++jx) {
-        const long mx = (jx <= ni / 2) ? jx : jx - ni;
-        const std::size_t p = static_cast<std::size_t>(jy * ni + jx);
+      for (long mx = 0; mx <= ni / 2; ++mx) {
+        const std::size_t p =
+            static_cast<std::size_t>(jy) * nh_ + static_cast<std::size_t>(mx);
         const double mm = std::sqrt(static_cast<double>(mx * mx + my * my));
         if (mm > k_peak || mm == 0.0) spec[p] = Cplx(0.0, 0.0);
       }
     }
-    auto level = theta_grid.subspan(static_cast<std::size_t>(l) * nn_, nn_);
-    fft_.inverse_real(spec, level);
+    auto level = theta_grid.subspan(l * nn_, nn_);
+    fft_.inverse_half(spec, level);
     const double r = rms(level);
     if (r > 0.0) {
       const double scale = rms_amplitude / r;
@@ -265,20 +293,23 @@ std::vector<double> SqgModel::ke_spectrum(std::span<const double> theta_grid, in
   if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
   to_spectral(theta_grid, ws.spec2);
   invert(ws.spec2, ws.psi2);
-  const Cplx* ps = ws.psi2.data() + static_cast<std::size_t>(level) * nn_;
+  const Cplx* ps = ws.psi2.data() + static_cast<std::size_t>(level) * ns_;
 
   const auto ni = static_cast<long>(cfg_.n);
+  const long h = ni / 2;
   std::vector<double> bins(cfg_.n / 2 + 1, 0.0);
   const double norm = 1.0 / (static_cast<double>(nn_) * static_cast<double>(nn_));
   for (long jy = 0; jy < ni; ++jy) {
-    const long my = (jy <= ni / 2) ? jy : jy - ni;
-    for (long jx = 0; jx < ni; ++jx) {
-      const long mx = (jx <= ni / 2) ? jx : jx - ni;
-      const std::size_t p = static_cast<std::size_t>(jy * ni + jx);
+    const long my = (jy <= h) ? jy : jy - ni;
+    for (long mx = 0; mx <= h; ++mx) {
+      const std::size_t p =
+          static_cast<std::size_t>(jy) * nh_ + static_cast<std::size_t>(mx);
       const auto bin =
           static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(mx * mx + my * my))));
       if (bin >= bins.size()) continue;
-      bins[bin] += 0.5 * ksq_[p] * std::norm(ps[p]) * norm;
+      // Interior columns stand in for themselves and their conjugate mirror.
+      const double w = (mx == 0 || mx == h) ? 1.0 : 2.0;
+      bins[bin] += w * 0.5 * ksq_[p] * std::norm(ps[p]) * norm;
     }
   }
   return bins;
@@ -289,10 +320,14 @@ double SqgModel::total_ke(std::span<const double> theta_grid, SqgWorkspace& ws) 
   to_spectral(theta_grid, ws.spec2);
   invert(ws.spec2, ws.psi2);
   double e = 0.0;
+  const std::size_t h = cfg_.n / 2;
   const double norm = 1.0 / (static_cast<double>(nn_) * static_cast<double>(nn_));
   for (std::size_t l = 0; l < 2; ++l)
-    for (std::size_t p = 0; p < nn_; ++p)
-      e += 0.5 * ksq_[p] * std::norm(ws.psi2[l * nn_ + p]) * norm;
+    for (std::size_t p = 0; p < ns_; ++p) {
+      const std::size_t mx = p % nh_;
+      const double w = (mx == 0 || mx == h) ? 1.0 : 2.0;
+      e += w * 0.5 * ksq_[p] * std::norm(ws.psi2[l * ns_ + p]) * norm;
+    }
   return e;
 }
 
@@ -300,17 +335,18 @@ double SqgModel::cfl(std::span<const double> theta_grid, SqgWorkspace& ws) const
   if (ws.n != cfg_.n || ws.gutil.size() != nn_) ws.resize_diagnostics(cfg_.n);
   to_spectral(theta_grid, ws.spec2);
   invert(ws.spec2, ws.psi2);
-  std::span<Cplx> w(ws.wutil.data(), nn_);
+  std::span<Cplx> w(ws.wutil.data(), ns_);
   std::span<double> g(ws.gutil.data(), nn_);
   double umax = 0.0;
-  const Cplx iu(0.0, 1.0);
   for (std::size_t l = 0; l < 2; ++l) {
-    const Cplx* ps = ws.psi2.data() + l * nn_;
-    for (std::size_t p = 0; p < nn_; ++p) w[p] = -iu * ky_[p] * ps[p];
-    fft_.inverse_real(w, g);
+    const Cplx* ps = ws.psi2.data() + l * ns_;
+    for (std::size_t p = 0; p < ns_; ++p)
+      w[p] = Cplx(ky_[p] * ps[p].imag(), -ky_[p] * ps[p].real());  // -i ky psi
+    fft_.inverse_half_pruned(w, g, kcut_);
     for (double x : g) umax = std::max(umax, std::abs(x + ubar_[l]));
-    for (std::size_t p = 0; p < nn_; ++p) w[p] = iu * kx_[p] * ps[p];
-    fft_.inverse_real(w, g);
+    for (std::size_t p = 0; p < ns_; ++p)
+      w[p] = Cplx(-kx_[p] * ps[p].imag(), kx_[p] * ps[p].real());  // +i kx psi
+    fft_.inverse_half_pruned(w, g, kcut_);
     for (double x : g) umax = std::max(umax, std::abs(x));
   }
   const double dx = cfg_.L / static_cast<double>(cfg_.n);

@@ -21,6 +21,17 @@
 // dealiasing, RK4, and implicit (integrating-factor) del^8 hyperdiffusion
 // applied once per step — exactly the scheme the paper describes.
 //
+// Spectral layout: the state between FFT calls is the packed non-redundant
+// half spectrum of each real boundary field — n x (n/2 + 1) bins per level
+// (Fft2D::forward_half layout), mirroring the remaining bins through
+// X(-my, -mx) = conj(X(my, mx)). Every operator table, RK4 stage buffer and
+// pointwise pass runs over that half set (half the memory and memory traffic
+// of the Hermitian-redundant full spectrum), transforms are pruned to the
+// 2/3-dealiased wavenumber square, and the tendency does exactly two
+// branch-free spectral passes per level: one fused inversion + derivative
+// pass and one combine pass whose dealias mask and Ekman/relaxation terms
+// are folded into precomputed per-level operator tables.
+//
 // Concurrency: SqgModel is immutable after construction (an FFT plan plus
 // wavenumber/hyperdiffusion tables). All per-step scratch lives in an
 // explicit SqgWorkspace, so one model instance can step many states from
@@ -63,10 +74,11 @@ struct SqgConfig {
   std::size_t n_fft_threads = 1;
 };
 
-/// All mutable scratch one in-flight SQG integration needs: spectral stage
-/// buffers for RK4 plus grid-space fields for the Jacobian. Allocate once per
-/// worker (or let the model borrow a per-thread one) and reuse — stepping
-/// performs no heap allocation.
+/// All mutable scratch one in-flight SQG integration needs: half-spectrum
+/// stage buffers for RK4 plus grid-space fields for the Jacobian. Allocate
+/// once per worker (or let the model borrow a per-thread one) and reuse —
+/// stepping performs no heap allocation. Spectral buffers hold n*(n/2+1)
+/// bins per level (the packed half spectrum), grid buffers n^2 points.
 struct SqgWorkspace {
   SqgWorkspace() = default;
   explicit SqgWorkspace(std::size_t n) { resize(n); }
@@ -78,9 +90,11 @@ struct SqgWorkspace {
   void resize_diagnostics(std::size_t n);
 
   std::size_t n = 0;                         ///< grid points per side
-  std::vector<Cplx> psi, work, jac;          // inversion + transform scratch
+  std::vector<Cplx> psi;                     // streamfunction, both levels
+  std::vector<Cplx> duh, dvh, dtx, dty;      // derivative half-spectra
+  std::vector<Cplx> jac;                     // Jacobian half-spectrum
   std::vector<double> gu, gv, gtx, gty, gj;  // grid-space Jacobian fields
-  std::vector<Cplx> k1, k2, k3, k4, stage, spec;  // RK4 stages (2 n^2 each)
+  std::vector<Cplx> k1, k2, k3, k4, stage, spec;  // RK4 stages (2 n(n/2+1) each)
   std::vector<Cplx> spec2, psi2, wutil;      // diagnostics (ke/cfl/init)
   std::vector<double> gutil;
 };
@@ -99,6 +113,12 @@ class SqgModel {
   [[nodiscard]] const SqgConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t n() const { return cfg_.n; }
   [[nodiscard]] std::size_t dim() const { return 2 * cfg_.n * cfg_.n; }
+
+  /// Size of the packed spectral state: two levels of n x (n/2+1) half
+  /// spectra (Fft2D::forward_half layout, level 0 then level 1).
+  [[nodiscard]] std::size_t spec_dim() const { return 2 * ns_; }
+  /// Highest retained |wavenumber index| of the 2/3 dealias rule (n/3).
+  [[nodiscard]] std::size_t kcut() const { return kcut_; }
 
   /// Advance grid-space state by `nsteps` RK4 steps of length cfg.dt.
   void step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) const;
@@ -147,11 +167,17 @@ class SqgModel {
   /// the discrete dynamics against linear theory.
   [[nodiscard]] double eady_growth_rate(int m) const;
 
-  /// Boundary tendency d(theta)/dt in spectral space (public for the step
-  /// benches and tests; `out` must not alias `theta_spec`).
+  /// Boundary tendency d(theta)/dt in half-spectral space (public for the
+  /// step benches and tests; `out` must not alias `theta_spec`; both are
+  /// spec_dim() long). `theta_spec` must live on the dealiased set, as
+  /// produced by to_spectral — the output always does (the mask is baked
+  /// into the combine tables).
   void tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out, SqgWorkspace& ws) const;
 
   // --- spectral-space accessors used by tests -------------------------------
+  // All spectral spans are spec_dim() long (two packed half spectra).
+  // to_spectral truncates to the dealiased set; to_grid assumes its input is
+  // so truncated (every spectrum the model produces is).
   void to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const;
   void to_grid(std::span<const Cplx> theta_spec, std::span<double> theta_grid) const;
   void invert(std::span<const Cplx> theta_spec, std::span<Cplx> psi_spec) const;
@@ -160,13 +186,20 @@ class SqgModel {
   void apply_hyperdiffusion(std::span<Cplx> theta_spec) const;
 
   SqgConfig cfg_;
-  std::size_t nn_;               // n*n (one level, spectral/grid size)
+  std::size_t nn_;               // n*n (one level, grid size)
+  std::size_t nh_;               // n/2 + 1 (half-spectrum row length)
+  std::size_t ns_;               // n*(n/2+1) (one level, spectral size)
+  std::size_t kcut_;             // 2/3 dealias cutoff (n/3)
   fft::Fft2D fft_;
-  std::vector<double> kx_, ky_, ksq_;        // per spectral point
+  // Operator tables, one entry per packed half-spectrum bin:
+  std::vector<double> kx_, ky_, ksq_;        // wavenumbers (kx >= 0)
   std::vector<double> inv_kappa_;            // 1/kappa (0 at K=0)
   std::vector<double> inv_sinh_, inv_tanh_;  // 1/sinh(mu), 1/tanh(mu)
   std::vector<double> hyperdiff_;            // exp(-dt * rate(K)) per point
-  std::vector<std::uint8_t> dealias_;        // 2/3-rule mask
+  // Fused per-level combine tables (dealias mask folded in):
+  // d(theta_l)/dt = op_theta_[l]*theta_l + op_psi_[l]*psi_l - J_l.
+  std::vector<Cplx> op_theta_[2];            // -i kx Ubar_l - 1/t_diab
+  std::vector<Cplx> op_psi_[2];              // i lambda kx (+ r K^2 at l=0)
   double ubar_[2];                           // basic-state zonal wind per level
   double lambda_;                            // shear U/H
 };

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <complex>
+#include <cstdlib>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "common/math_utils.hpp"
@@ -305,6 +307,127 @@ TEST(Fft2d, WrongSizeThrows) {
   Fft2D plan(8, 8);
   std::vector<Cplx> bad(63);
   EXPECT_THROW(plan.forward(bad), Error);
+}
+
+// --- packed half-spectrum 2-D API -------------------------------------------
+
+TEST(Fft2d, HalfSpectrumMatchesFullLayout) {
+  // The packed n0 x (n1/2+1) spectrum must hold exactly the non-redundant
+  // columns of the full Hermitian-redundant layout, including on non-square
+  // shapes.
+  const std::size_t n0 = 16, n1 = 8, nh = n1 / 2 + 1;
+  Rng rng(61);
+  std::vector<double> g(n0 * n1);
+  rng.fill_gaussian(g);
+  Fft2D plan(n0, n1);
+  ASSERT_EQ(plan.half_size(), n0 * nh);
+  std::vector<Cplx> full(n0 * n1), half(plan.half_size());
+  plan.forward_real(g, full);
+  plan.forward_half(g, half);
+  for (std::size_t i = 0; i < n0; ++i)
+    for (std::size_t j = 0; j < nh; ++j) {
+      const Cplx want = full[i * n1 + j];
+      const Cplx got = half[i * nh + j];
+      EXPECT_NEAR(got.real(), want.real(), 1e-12 * static_cast<double>(n0 * n1));
+      EXPECT_NEAR(got.imag(), want.imag(), 1e-12 * static_cast<double>(n0 * n1));
+    }
+}
+
+TEST(Fft2d, HalfRoundTripToMachinePrecision) {
+  for (auto [n0, n1] : {std::pair<std::size_t, std::size_t>{32, 32}, {16, 8}, {4, 16}}) {
+    Rng rng(67 + n0 + n1);
+    std::vector<double> g(n0 * n1);
+    rng.fill_gaussian(g);
+    Fft2D plan(n0, n1);
+    std::vector<Cplx> h(plan.half_size());
+    plan.forward_half(g, h);
+    std::vector<double> back(n0 * n1);
+    plan.inverse_half(h, back);
+    for (std::size_t i = 0; i < g.size(); ++i) ASSERT_NEAR(back[i], g[i], 1e-12) << n0 << "x" << n1;
+  }
+}
+
+TEST(Fft2d, PrunedHalfMatchesMaskedUnpruned) {
+  const std::size_t n = 32, nh = n / 2 + 1;
+  Rng rng(71);
+  std::vector<double> g(n * n);
+  rng.fill_gaussian(g);
+  Fft2D plan(n, n);
+  for (const std::size_t kcut : {std::size_t{4}, n / 3, n / 2}) {
+    // Forward: pruned output == unpruned output with the |mx|,|my| > kcut
+    // bins zeroed.
+    std::vector<Cplx> ref(plan.half_size());
+    plan.forward_half(g, ref);
+    for (std::size_t i = 0; i < n; ++i) {
+      const long my = (i <= n / 2) ? static_cast<long>(i) : static_cast<long>(i) - static_cast<long>(n);
+      for (std::size_t j = 0; j < nh; ++j)
+        if (j > kcut || std::labs(my) > static_cast<long>(kcut)) ref[i * nh + j] = Cplx(0.0, 0.0);
+    }
+    std::vector<Cplx> pruned(plan.half_size());
+    plan.forward_half_pruned(g, pruned, kcut);
+    for (std::size_t p = 0; p < ref.size(); ++p) {
+      ASSERT_NEAR(pruned[p].real(), ref[p].real(), 1e-12 * static_cast<double>(n * n)) << p;
+      ASSERT_NEAR(pruned[p].imag(), ref[p].imag(), 1e-12 * static_cast<double>(n * n)) << p;
+    }
+    // Inverse: on a truncated spectrum, the pruned transform matches the
+    // unpruned one.
+    std::vector<double> a(n * n), b(n * n);
+    plan.inverse_half(ref, a);
+    plan.inverse_half_pruned(ref, b, kcut);
+    for (std::size_t p = 0; p < a.size(); ++p) ASSERT_NEAR(a[p], b[p], 1e-13) << p;
+  }
+}
+
+TEST(Fft2d, HalfResultsBitwiseIndependentOfThreadCount) {
+  const std::size_t n = 32, kcut = n / 3;
+  Rng rng(73);
+  std::vector<double> g(n * n);
+  rng.fill_gaussian(g);
+
+  Fft2D ref_plan(n, n);  // default: serial
+  std::vector<Cplx> ref_h(ref_plan.half_size()), ref_p(ref_plan.half_size());
+  ref_plan.forward_half(g, ref_h);
+  ref_plan.forward_half_pruned(g, ref_p, kcut);
+  std::vector<double> ref_back(n * n), ref_pback(n * n);
+  ref_plan.inverse_half(ref_h, ref_back);
+  ref_plan.inverse_half_pruned(ref_p, ref_pback, kcut);
+
+  for (std::size_t nt : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    Fft2D plan(n, n);
+    plan.set_max_threads(nt);
+    std::vector<Cplx> h(plan.half_size()), p(plan.half_size());
+    plan.forward_half(g, h);
+    plan.forward_half_pruned(g, p, kcut);
+    EXPECT_EQ(0, std::memcmp(h.data(), ref_h.data(), h.size() * sizeof(Cplx))) << nt << " threads";
+    EXPECT_EQ(0, std::memcmp(p.data(), ref_p.data(), p.size() * sizeof(Cplx))) << nt << " threads";
+    std::vector<double> back(n * n), pback(n * n);
+    plan.inverse_half(h, back);
+    plan.inverse_half_pruned(p, pback, kcut);
+    EXPECT_EQ(0, std::memcmp(back.data(), ref_back.data(), back.size() * sizeof(double)))
+        << nt << " threads";
+    EXPECT_EQ(0, std::memcmp(pback.data(), ref_pback.data(), pback.size() * sizeof(double)))
+        << nt << " threads";
+  }
+}
+
+TEST(Fft2d, HalfApiRejectsUnsupportedShapes) {
+  // n1 == 1 has no even row length for the r2c stage.
+  Fft2D p1(8, 1);
+  std::vector<double> g1(8);
+  std::vector<Cplx> h1(p1.half_size());
+  EXPECT_THROW(p1.forward_half(g1, h1), Error);
+  EXPECT_THROW(p1.inverse_half(h1, g1), Error);
+  // Odd / non-power-of-two extents are rejected at plan construction.
+  EXPECT_THROW(Fft2D(8, 7), Error);
+  EXPECT_THROW(Fft2D(6, 8), Error);
+  // Wrong buffer sizes.
+  Fft2D q(8, 8);
+  std::vector<double> g2(64);
+  std::vector<Cplx> bad(q.half_size() - 1);
+  EXPECT_THROW(q.forward_half(g2, bad), Error);
+  EXPECT_THROW(q.inverse_half(bad, g2), Error);
+  EXPECT_THROW(q.forward_half_pruned(g2, bad, 2), Error);
+  EXPECT_THROW(q.inverse_half_pruned(bad, g2, 2), Error);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST_P(SqgGridP, SpectralRoundTripAndRealness) {
   Rng rng(31 + cfg.n);
   std::vector<double> theta(model.dim());
   model.random_init(theta, rng, 1.0, static_cast<int>(cfg.n) / 4);
-  std::vector<sqg::Cplx> spec(model.dim());
+  std::vector<sqg::Cplx> spec(model.spec_dim());
   model.to_spectral(theta, spec);
   std::vector<double> back(model.dim());
   model.to_grid(spec, back);

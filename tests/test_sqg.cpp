@@ -1,11 +1,66 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "common/math_utils.hpp"
+#include "fft/fft.hpp"
 #include "rng/rng.hpp"
 #include "sqg/sqg.hpp"
+
+// --- global allocation counter ----------------------------------------------
+// Backs the zero-per-step-allocation test: replacing the (replaceable) global
+// operators is binary-wide, and the test only inspects deltas across a
+// warmed-up step() call, so the rest of the suite is unaffected.
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+}  // namespace
+
+// The replacements route new/delete through malloc/free as a matched set;
+// GCC's -Wmismatched-new-delete cannot see that pairing across the
+// replaceable-operator boundary, so silence it for these definitions only.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(std::size_t sz) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t sz) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Over-aligned overloads count too, so allocations from a future SIMD-aligned
+// buffer type (the ROADMAP's AVX2 step) cannot slip past the test.
+namespace {
+void* counted_aligned_alloc(std::size_t sz, std::align_val_t al) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = std::max(static_cast<std::size_t>(al), sizeof(void*));
+  void* p = nullptr;
+  if (posix_memalign(&p, a, sz ? sz : 1) == 0) return p;
+  throw std::bad_alloc{};
+}
+}  // namespace
+void* operator new(std::size_t sz, std::align_val_t al) { return counted_aligned_alloc(sz, al); }
+void* operator new[](std::size_t sz, std::align_val_t al) { return counted_aligned_alloc(sz, al); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace turbda::sqg {
 namespace {
@@ -33,7 +88,7 @@ TEST(Sqg, SpectralGridRoundTrip) {
   Rng rng(5);
   std::vector<double> theta(model.dim());
   model.random_init(theta, rng, 1.0, 8);
-  std::vector<Cplx> spec(model.dim());
+  std::vector<Cplx> spec(model.spec_dim());
   model.to_spectral(theta, spec);
   std::vector<double> back(model.dim());
   model.to_grid(spec, back);
@@ -56,10 +111,10 @@ TEST(Sqg, InversionSatisfiesBoundaryRelation) {
   // and psi1 = -theta0 / (kappa sinh(mu)) — check on a single mode.
   SqgConfig cfg = inviscid_config(32);
   SqgModel model(cfg);
-  const std::size_t n = cfg.n, nn = n * n;
-  std::vector<Cplx> theta(2 * nn, Cplx(0, 0)), psi(2 * nn);
-  const long mx = 3, my = 2;
-  const std::size_t p = static_cast<std::size_t>(my) * n + static_cast<std::size_t>(mx);
+  const std::size_t n = cfg.n, nh = n / 2 + 1, ns = n * nh;
+  std::vector<Cplx> theta(model.spec_dim(), Cplx(0, 0)), psi(model.spec_dim());
+  const long mx = 3, my = 2;  // half layout: row = my (>= 0 here), column = mx
+  const std::size_t p = static_cast<std::size_t>(my) * nh + static_cast<std::size_t>(mx);
   theta[p] = Cplx(1.0, -0.5);  // level 0 only
   model.invert(theta, psi);
 
@@ -70,8 +125,8 @@ TEST(Sqg, InversionSatisfiesBoundaryRelation) {
   const Cplx want1 = -theta[p] / (kappa * std::sinh(mu));
   EXPECT_NEAR(psi[p].real(), want0.real(), 1e-9 * std::abs(want0));
   EXPECT_NEAR(psi[p].imag(), want0.imag(), 1e-9 * std::abs(want0));
-  EXPECT_NEAR(psi[nn + p].real(), want1.real(), 1e-9 * std::abs(want1));
-  EXPECT_NEAR(psi[nn + p].imag(), want1.imag(), 1e-9 * std::abs(want1));
+  EXPECT_NEAR(psi[ns + p].real(), want1.real(), 1e-9 * std::abs(want1));
+  EXPECT_NEAR(psi[ns + p].imag(), want1.imag(), 1e-9 * std::abs(want1));
 }
 
 TEST(Sqg, EadyGrowthRateMatchesTextbookFormula) {
@@ -260,6 +315,198 @@ TEST(Sqg, ExplicitWorkspaceMatchesPerThreadDefault) {
   model.step(c, 1, small);
   model.step(b, 1, ws);
   for (std::size_t i = 0; i < b.size(); ++i) ASSERT_EQ(b[i], c[i]);
+}
+
+// --- half-spectrum vs full-spectrum path equivalence -------------------------
+// Reference implementation on the full Hermitian-redundant n x n spectrum,
+// replicating the pre-half-spectrum solver path: dense complex transforms,
+// five separate per-point passes and explicit dealias/Ekman branches. The
+// production half-spectrum path computes the same dynamics through different
+// arithmetic and must agree to ~machine precision.
+struct FullSpectrumReference {
+  explicit FullSpectrumReference(const SqgConfig& c)
+      : cfg(c), n(c.n), nn(n * n), fft(n, n), kx(nn), ky(nn), ksq(nn), inv_kappa(nn),
+        inv_sinh(nn), inv_tanh(nn), hyperdiff(nn), dealias(nn), psi(2 * nn), work(nn), jac(nn),
+        gu(nn), gv(nn), gtx(nn), gty(nn), gj(nn), k1(2 * nn), k2(2 * nn), k3(2 * nn), k4(2 * nn),
+        stage(2 * nn), spec(2 * nn) {
+    const double bigN = std::sqrt(cfg.nsq);
+    const auto ni = static_cast<long>(n);
+    const long kcut = ni / 3;
+    double kmax_retained = 0.0;
+    for (long jy = 0; jy < ni; ++jy) {
+      const long my = (jy <= ni / 2) ? jy : jy - ni;
+      for (long jx = 0; jx < ni; ++jx) {
+        const long mx = (jx <= ni / 2) ? jx : jx - ni;
+        const std::size_t p = static_cast<std::size_t>(jy) * n + static_cast<std::size_t>(jx);
+        kx[p] = kTwoPi * static_cast<double>(mx) / cfg.L;
+        ky[p] = kTwoPi * static_cast<double>(my) / cfg.L;
+        ksq[p] = kx[p] * kx[p] + ky[p] * ky[p];
+        dealias[p] = (std::labs(mx) <= kcut && std::labs(my) <= kcut) ? 1 : 0;
+        if (dealias[p]) kmax_retained = std::max(kmax_retained, std::sqrt(ksq[p]));
+        if (ksq[p] > 0.0) {
+          const double kappa = bigN * std::sqrt(ksq[p]) / cfg.f;
+          const double mu = kappa * cfg.H;
+          inv_kappa[p] = 1.0 / kappa;
+          inv_sinh[p] = (mu > 300.0) ? 0.0 : 1.0 / std::sinh(mu);
+          inv_tanh[p] = 1.0 / std::tanh(mu);
+        } else {
+          inv_kappa[p] = inv_sinh[p] = inv_tanh[p] = 0.0;
+        }
+      }
+    }
+    for (std::size_t p = 0; p < nn; ++p) {
+      const double kn = (kmax_retained > 0.0) ? std::sqrt(ksq[p]) / kmax_retained : 0.0;
+      hyperdiff[p] = std::exp(-cfg.dt * std::pow(kn, cfg.diff_order) / cfg.diff_efold);
+    }
+    lambda = cfg.U / cfg.H;
+    ubar[0] = cfg.symmetric_shear ? -0.5 * cfg.U : 0.0;
+    ubar[1] = cfg.symmetric_shear ? +0.5 * cfg.U : cfg.U;
+  }
+
+  void to_spectral(std::span<const double> grid, std::span<Cplx> out) {
+    for (int l = 0; l < 2; ++l)
+      fft.forward_real(grid.subspan(static_cast<std::size_t>(l) * nn, nn),
+                       out.subspan(static_cast<std::size_t>(l) * nn, nn));
+    for (std::size_t i = 0; i < 2 * nn; ++i)
+      if (!dealias[i % nn]) out[i] = Cplx(0.0, 0.0);
+  }
+
+  void tendency(std::span<const Cplx> th_spec, std::span<Cplx> out) {
+    const Cplx* t0 = th_spec.data();
+    const Cplx* t1 = th_spec.data() + nn;
+    for (std::size_t p = 0; p < nn; ++p) {
+      psi[p] = inv_kappa[p] * (t1[p] * inv_sinh[p] - t0[p] * inv_tanh[p]);
+      psi[nn + p] = inv_kappa[p] * (t1[p] * inv_tanh[p] - t0[p] * inv_sinh[p]);
+    }
+    const double inv_tdiab = (cfg.t_diab > 0.0) ? 1.0 / cfg.t_diab : 0.0;
+    for (std::size_t l = 0; l < 2; ++l) {
+      const Cplx* th = th_spec.data() + l * nn;
+      const Cplx* ps = psi.data() + l * nn;
+      Cplx* dth = out.data() + l * nn;
+      const Cplx iu(0.0, 1.0);
+      for (std::size_t p = 0; p < nn; ++p) work[p] = -ps[p] * Cplx(kx[p], ky[p]);
+      fft.inverse(work);
+      for (std::size_t p = 0; p < nn; ++p) {
+        gu[p] = work[p].real();
+        gv[p] = work[p].imag();
+      }
+      for (std::size_t p = 0; p < nn; ++p) work[p] = th[p] * Cplx(-ky[p], kx[p]);
+      fft.inverse(work);
+      for (std::size_t p = 0; p < nn; ++p) {
+        gtx[p] = work[p].real();
+        gty[p] = work[p].imag();
+      }
+      for (std::size_t p = 0; p < nn; ++p) gj[p] = gu[p] * gtx[p] + gv[p] * gty[p];
+      fft.forward_real(gj, jac);
+      const double ub = ubar[l];
+      for (std::size_t p = 0; p < nn; ++p) {
+        Cplx t = dealias[p] ? -jac[p] : Cplx(0.0, 0.0);
+        t -= iu * kx[p] * ub * th[p];
+        t += lambda * iu * kx[p] * ps[p];
+        t -= inv_tdiab * th[p];
+        if (l == 0 && cfg.r_ekman != 0.0) t += cfg.r_ekman * ksq[p] * ps[p];
+        dth[p] = t;
+      }
+    }
+  }
+
+  void step(std::span<double> grid, int nsteps) {
+    to_spectral(grid, spec);
+    const double dt = cfg.dt;
+    for (int s = 0; s < nsteps; ++s) {
+      tendency(spec, k1);
+      for (std::size_t i = 0; i < 2 * nn; ++i) stage[i] = spec[i] + 0.5 * dt * k1[i];
+      tendency(stage, k2);
+      for (std::size_t i = 0; i < 2 * nn; ++i) stage[i] = spec[i] + 0.5 * dt * k2[i];
+      tendency(stage, k3);
+      for (std::size_t i = 0; i < 2 * nn; ++i) stage[i] = spec[i] + dt * k3[i];
+      tendency(stage, k4);
+      for (std::size_t i = 0; i < 2 * nn; ++i)
+        spec[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+      for (std::size_t i = 0; i < 2 * nn; ++i) spec[i] *= hyperdiff[i % nn];
+    }
+    for (int l = 0; l < 2; ++l)
+      fft.inverse_real(std::span<const Cplx>(spec).subspan(static_cast<std::size_t>(l) * nn, nn),
+                       grid.subspan(static_cast<std::size_t>(l) * nn, nn));
+  }
+
+  SqgConfig cfg;
+  std::size_t n, nn;
+  fft::Fft2D fft;
+  std::vector<double> kx, ky, ksq, inv_kappa, inv_sinh, inv_tanh, hyperdiff;
+  std::vector<std::uint8_t> dealias;
+  std::vector<Cplx> psi, work, jac;
+  std::vector<double> gu, gv, gtx, gty, gj;
+  std::vector<Cplx> k1, k2, k3, k4, stage, spec;
+  double ubar[2] = {0.0, 0.0};
+  double lambda = 0.0;
+};
+
+TEST(Sqg, HalfSpectrumTendencyMatchesFullSpectrumReference) {
+  SqgConfig cfg;  // default physics: shear + relaxation + hyperdiffusion
+  cfg.n = 32;
+  cfg.r_ekman = 10.0;  // exercise the level-0 Ekman term too
+  SqgModel model(cfg);
+  FullSpectrumReference ref(cfg);
+  Rng rng(77);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 8);
+
+  const std::size_t n = cfg.n, nn = n * n, nh = n / 2 + 1, ns = n * nh;
+  std::vector<Cplx> hs(model.spec_dim()), hout(model.spec_dim());
+  model.to_spectral(theta, hs);
+  SqgWorkspace ws(n);
+  model.tendency(hs, hout, ws);
+
+  std::vector<Cplx> fs(2 * nn), fout(2 * nn);
+  ref.to_spectral(theta, fs);
+  ref.tendency(fs, fout);
+
+  double scale = 0.0;
+  for (const auto& v : fout) scale = std::max(scale, std::abs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t l = 0; l < 2; ++l)
+    for (std::size_t jy = 0; jy < n; ++jy)
+      for (std::size_t mx = 0; mx <= n / 2; ++mx) {
+        const Cplx want = fout[l * nn + jy * n + mx];
+        const Cplx got = hout[l * ns + jy * nh + mx];
+        ASSERT_NEAR(got.real(), want.real(), 1e-12 * scale) << l << "," << jy << "," << mx;
+        ASSERT_NEAR(got.imag(), want.imag(), 1e-12 * scale) << l << "," << jy << "," << mx;
+      }
+}
+
+TEST(Sqg, HalfSpectrumStepMatchesFullSpectrumReference) {
+  SqgConfig cfg;
+  cfg.n = 32;
+  SqgModel model(cfg);
+  FullSpectrumReference ref(cfg);
+  Rng rng(78);
+  std::vector<double> a(model.dim());
+  model.random_init(a, rng, 1.0, 6);
+  auto b = a;
+
+  SqgWorkspace ws(cfg.n);
+  model.step(a, 5, ws);
+  ref.step(b, 5);
+
+  double scale = 0.0;
+  for (double v : b) scale = std::max(scale, std::abs(v));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-12 * scale) << i;
+}
+
+TEST(Sqg, StepPerformsNoPerStepHeapAllocations) {
+  SqgConfig cfg = inviscid_config(32);
+  SqgModel model(cfg);
+  Rng rng(91);
+  std::vector<double> theta(model.dim());
+  model.random_init(theta, rng, 1.0, 4);
+  SqgWorkspace ws(cfg.n);
+  model.step(theta, 2, ws);  // warm-up: grows the per-thread FFT scratch once
+  const std::uint64_t before = g_new_calls.load();
+  model.step(theta, 5, ws);
+  const std::uint64_t allocs = g_new_calls.load() - before;
+  EXPECT_EQ(allocs, 0u) << "step() performed " << allocs << " heap allocations";
 }
 
 TEST(Sqg, RejectsBadConfig) {

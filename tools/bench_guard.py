@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Advisory perf-regression guard for the bench JSON outputs.
+
+Compares a freshly measured bench JSON (e.g. `bench_sqg_step --smoke
+--json=fresh.json`) against the baseline committed at the repo root and
+prints a markdown table plus GitHub Actions `::warning::` annotations for
+every (n, threads) configuration whose metric regressed by more than the
+threshold. Purely advisory: always exits 0 — CI runners are noisy and the
+committed baseline comes from a different machine, so a warning is a prompt
+to look, not a gate.
+
+Usage:
+  tools/bench_guard.py --baseline BENCH_sqg.json --fresh fresh.json \
+      [--metric rk4_step_ms] [--threshold 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for r in data.get("results", []):
+        out[(r.get("n"), r.get("threads"))] = r
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--fresh", required=True, help="freshly measured JSON")
+    ap.add_argument("--metric", default="rk4_step_ms", help="result field to compare")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative regression that triggers a warning (0.25 = +25%%)")
+    args = ap.parse_args()
+
+    try:
+        baseline = load_results(args.baseline)
+        fresh = load_results(args.fresh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_guard: could not read inputs ({e}); skipping check")
+        return 0
+
+    rows = []
+    warnings = 0
+    for key, fr in sorted(fresh.items()):
+        base = baseline.get(key)
+        if base is None or args.metric not in base or args.metric not in fr:
+            continue
+        b, f = float(base[args.metric]), float(fr[args.metric])
+        if b <= 0.0:
+            continue
+        ratio = f / b - 1.0
+        flag = ratio > args.threshold
+        warnings += flag
+        rows.append((key, b, f, ratio, flag))
+        if flag:
+            print(f"::warning::{args.metric} at n={key[0]}, threads={key[1]} regressed "
+                  f"{100 * ratio:+.1f}% vs committed baseline "
+                  f"({b:.3f} ms -> {f:.3f} ms, threshold +{100 * args.threshold:.0f}%)")
+
+    if not rows:
+        print(f"bench_guard: no overlapping (n, threads) configurations with metric "
+              f"'{args.metric}' between {args.baseline} and {args.fresh}")
+        return 0
+
+    print(f"\n### Perf guard: {args.metric} vs committed baseline (advisory, "
+          f"threshold +{100 * args.threshold:.0f}%)\n")
+    print("| n | threads | baseline [ms] | fresh [ms] | delta | |")
+    print("| --- | --- | --- | --- | --- | --- |")
+    for (n, t), b, f, ratio, flag in rows:
+        mark = ":warning:" if flag else "ok"
+        print(f"| {n} | {t} | {b:.3f} | {f:.3f} | {100 * ratio:+.1f}% | {mark} |")
+    if warnings:
+        print(f"\n{warnings} configuration(s) above threshold — advisory only; "
+              "compare against the committed baseline's machine before acting.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
