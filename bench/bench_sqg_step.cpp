@@ -1,9 +1,12 @@
 // SQG forecast hot-path bench: times the real-FFT pair, the spectral
 // tendency, and the full RK4 step at n = 64/128/256 across thread counts,
-// plus a member-parallel ensemble forecast (the paper's throughput axis).
-// Emits a machine-readable BENCH_sqg.json so later PRs can track the perf
-// trajectory, and verifies that every multi-threaded result is bitwise
-// identical to the single-threaded one.
+// plus the ensemble forecast (the paper's throughput axis) in both the
+// member-parallel per-member and the block-batched (step_batch) form.
+// Reports the active FFT SIMD dispatch level (scalar / avx2 / avx2fma) and
+// per-row hardware context, emits a machine-readable BENCH_sqg.json so
+// later PRs can track the perf trajectory, and verifies that every
+// multi-threaded and batched result is bitwise identical to the
+// single-threaded per-member one.
 //
 //   build/bench_sqg_step [--sizes=64,128,256] [--threads=1,2,4]
 //                        [--members=20] [--reps=3] [--json=BENCH_sqg.json]
@@ -61,7 +64,8 @@ struct Result {
   double fft_half_ms = 0.0;  // packed half-spectrum layout (the hot path)
   double tendency_ms = 0.0;
   double step_ms = 0.0;
-  double ens_ms = 0.0;
+  double ens_ms = 0.0;        // per-member forecasts fanned over the pool
+  double ens_batch_ms = 0.0;  // block-batched step_batch forecasts
   bool bitwise = true;
 };
 
@@ -94,9 +98,10 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", smoke ? 1 : 3));
   const std::string json_path = args.get_str("json", "BENCH_sqg.json");
   const unsigned hw = std::thread::hardware_concurrency();
+  const char* simd = fft::simd_level_name(fft::active_simd_level());
 
-  std::cout << "=== SQG forecast hot path (" << hw << " hardware threads, best of " << reps
-            << ", " << members << "-member ensemble) ===\n\n";
+  std::cout << "=== SQG forecast hot path (" << hw << " hardware threads, FFT SIMD dispatch: "
+            << simd << ", best of " << reps << ", " << members << "-member ensemble) ===\n\n";
 
   std::vector<Result> results;
   for (const std::size_t n : sizes) {
@@ -174,17 +179,38 @@ int main(int argc, char** argv) {
       for (std::size_t m = 0; m < members; ++m)
         res.bitwise = res.bitwise && std::memcmp(states[m].data(), ref_members[m].data(),
                                                  states[m].size() * sizeof(double)) == 0;
+
+      // Block-batched ensemble forecast: the same members as one contiguous
+      // (members x dim) block, each worker advancing its chunk through
+      // step_batch — the forecast path the cycling runners use.
+      std::vector<double> block(members * model.dim());
+      res.ens_batch_ms = best_ms(reps, 1, [&] {
+        for (std::size_t m = 0; m < members; ++m)
+          std::copy(theta.begin(), theta.end(), block.begin() + static_cast<long>(m * model.dim()));
+        parallel::parallel_for(
+            members,
+            [&](std::size_t b, std::size_t e) {
+              model.step_batch(std::span<double>(block.data() + b * model.dim(),
+                                                 (e - b) * model.dim()),
+                               e - b, 1);
+            },
+            /*min_grain=*/1, nt);
+      });
+      for (std::size_t m = 0; m < members; ++m)
+        res.bitwise = res.bitwise && std::memcmp(block.data() + m * model.dim(),
+                                                 ref_members[m].data(),
+                                                 model.dim() * sizeof(double)) == 0;
       results.push_back(res);
     }
   }
 
   io::Table t({"n", "threads", "fft pair [ms]", "half pair [ms]", "tendency [ms]",
-               "RK4 step [ms]", "ens fcst [ms]", "bitwise == t1"});
+               "RK4 step [ms]", "ens fcst [ms]", "ens batch [ms]", "bitwise == t1"});
   for (const auto& r : results) {
     t.add_row({std::to_string(r.n), std::to_string(r.threads), io::Table::num(r.fft_pair_ms, 3),
                io::Table::num(r.fft_half_ms, 3), io::Table::num(r.tendency_ms, 3),
                io::Table::num(r.step_ms, 3), io::Table::num(r.ens_ms, 3),
-               r.bitwise ? "yes" : "NO"});
+               io::Table::num(r.ens_batch_ms, 3), r.bitwise ? "yes" : "NO"});
   }
   t.print();
 
@@ -193,15 +219,21 @@ int main(int argc, char** argv) {
   std::cout << "\nMulti-threaded results bitwise identical to 1 thread: "
             << (all_bitwise ? "yes" : "NO") << "\n";
 
+  // Per-row hardware context (hw_threads, simd) rides along so downstream
+  // consumers (bench_guard) can reject rows whose thread count oversubscribed
+  // the recording machine without trusting the file-level header.
   std::ofstream js(json_path);
   js << "{\n  \"bench\": \"sqg_step\",\n  \"hardware_threads\": " << hw
-     << ",\n  \"members\": " << members << ",\n  \"results\": [\n";
+     << ",\n  \"simd_level\": \"" << simd << "\",\n  \"members\": " << members
+     << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     js << "    {\"n\": " << r.n << ", \"threads\": " << r.threads
+       << ", \"hw_threads\": " << hw << ", \"simd\": \"" << simd << "\""
        << ", \"fft_pair_ms\": " << r.fft_pair_ms << ", \"fft_half_pair_ms\": " << r.fft_half_ms
        << ", \"tendency_ms\": " << r.tendency_ms
        << ", \"rk4_step_ms\": " << r.step_ms << ", \"ens_forecast_ms\": " << r.ens_ms
+       << ", \"ens_batch_forecast_ms\": " << r.ens_batch_ms
        << ", \"bitwise_vs_t1\": " << (r.bitwise ? "true" : "false") << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }

@@ -38,18 +38,40 @@ Fft1D::Fft1D(std::size_t n) : n_(n) {
   }
 }
 
+void Fft1D::general_stages(double* d, bool inverse, const FftKernels& kr) const {
+  const auto& stages = inverse ? stage_inv_ : stage_fwd_;
+  int s = 3;
+  // Fused radix-2^2 pairs: one pass performs stages s and s+1 back to back
+  // on each 2^(s+1)-point block, with the exact same per-element arithmetic
+  // (and thus bitwise results) as two separate passes.
+  for (; s + 1 <= log2n_; s += 2) {
+    const std::size_t half = std::size_t{1} << (s - 1);  // half of stage s
+    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
+    const double* tw1 =
+        reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s) + 1].data());
+    kr.pass_radix4(d, n_, half, tw, tw1);
+  }
+  // Odd stage count: one remaining plain radix-2 pass.
+  if (s <= log2n_) {
+    const std::size_t half = std::size_t{1} << (s - 1);
+    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
+    kr.pass_radix2(d, n_, half, tw);
+  }
+}
+
 void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
   TURBDA_REQUIRE(x.size() == n_, "FFT input length " << x.size() << " != plan length " << n_);
   if (n_ == 1) return;
   // The butterflies run on the raw (re, im) doubles — std::complex guarantees
-  // array-compatible layout, and spelling the arithmetic out keeps the
-  // compiler from round-tripping values through memory between operations.
+  // array-compatible layout — through the runtime-dispatched SIMD kernels
+  // (scalar / AVX2 / AVX2+FMA; see simd_kernels.hpp).
   double* d = reinterpret_cast<double*>(x.data());
   // Bit-reversal permutation.
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
+  const FftKernels& kr = active_kernels();
   // Stages len = 2 and 4 fused: twiddles are exactly 1 and -i (forward) /
   // +i (inverse), so the 4-point butterfly carries no multiplies at all.
   if (n_ == 2) {
@@ -59,90 +81,85 @@ void Fft1D::transform(std::span<Cplx> x, bool inverse) const {
     d[2] = ur - tr;
     d[3] = ui - ti;
   } else {
-    const double isign = inverse ? 1.0 : -1.0;
-    for (std::size_t base = 0; base < 2 * n_; base += 8) {
-      double* p = d + base;
-      const double a0r = p[0] + p[2], a0i = p[1] + p[3];  // stage len 2
-      const double a1r = p[0] - p[2], a1i = p[1] - p[3];
-      const double a2r = p[4] + p[6], a2i = p[5] + p[7];
-      const double a3r = p[4] - p[6], a3i = p[5] - p[7];
-      const double b3r = -isign * a3i, b3i = isign * a3r;  // (-+i) * a3
-      p[0] = a0r + a2r;  // stage len 4
-      p[1] = a0i + a2i;
-      p[4] = a0r - a2r;
-      p[5] = a0i - a2i;
-      p[2] = a1r + b3r;
-      p[3] = a1i + b3i;
-      p[6] = a1r - b3r;
-      p[7] = a1i - b3i;
-    }
+    kr.pass_first(d, 2 * n_, inverse ? 1.0 : -1.0);
   }
-  // General stages, fused in pairs (radix-2^2): one pass performs stages s
-  // and s+1 back to back on each 2^(s+1)-point block, with the exact same
-  // per-element arithmetic (and thus bitwise results) as two separate
-  // passes, but half the sweeps over the data and twice the independent
-  // work per loop iteration.
-  const auto& stages = inverse ? stage_inv_ : stage_fwd_;
-  int s = 3;
-  for (; s + 1 <= log2n_; s += 2) {
-    const std::size_t half = std::size_t{1} << (s - 1);  // half of stage s
-    const std::size_t len4 = 4 * half;                   // fused block length
-    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
-    const double* tw1 =
-        reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s) + 1].data());
-    for (std::size_t base = 0; base < n_; base += len4) {
-      double* p0 = d + 2 * base;
-      double* p1 = p0 + 2 * half;
-      double* p2 = p1 + 2 * half;
-      double* p3 = p2 + 2 * half;
-      for (std::size_t k = 0; k < half; ++k) {
-        const double wr = tw[2 * k], wi = tw[2 * k + 1];
-        const double ar = p0[2 * k], ai = p0[2 * k + 1];
-        const double br = p1[2 * k], bi = p1[2 * k + 1];
-        const double cr = p2[2 * k], ci = p2[2 * k + 1];
-        const double dr = p3[2 * k], di = p3[2 * k + 1];
-        // Stage s: (a, b) and (c, d), both with twiddle w.
-        const double tbr = wr * br - wi * bi, tbi = wr * bi + wi * br;
-        const double tdr = wr * dr - wi * di, tdi = wr * di + wi * dr;
-        const double uar = ar + tbr, uai = ai + tbi;
-        const double ubr = ar - tbr, ubi = ai - tbi;
-        const double ucr = cr + tdr, uci = ci + tdi;
-        const double udr = cr - tdr, udi = ci - tdi;
-        // Stage s+1: (a, c) with tw1[k], (b, d) with tw1[k + half].
-        const double v0r = tw1[2 * k], v0i = tw1[2 * k + 1];
-        const double v1r = tw1[2 * (k + half)], v1i = tw1[2 * (k + half) + 1];
-        const double tcr = v0r * ucr - v0i * uci, tci = v0r * uci + v0i * ucr;
-        const double ter = v1r * udr - v1i * udi, tei = v1r * udi + v1i * udr;
-        p0[2 * k] = uar + tcr;
-        p0[2 * k + 1] = uai + tci;
-        p2[2 * k] = uar - tcr;
-        p2[2 * k + 1] = uai - tci;
-        p1[2 * k] = ubr + ter;
-        p1[2 * k + 1] = ubi + tei;
-        p3[2 * k] = ubr - ter;
-        p3[2 * k + 1] = ubi - tei;
-      }
-    }
+  general_stages(d, inverse, kr);
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (auto& v : x) v *= scale;
   }
-  // Odd stage count: one remaining plain radix-2 pass.
-  if (s <= log2n_) {
-    const std::size_t half = std::size_t{1} << (s - 1);
-    const double* tw = reinterpret_cast<const double*>(stages[static_cast<std::size_t>(s)].data());
-    for (std::size_t base = 0; base < n_; base += 2 * half) {
-      double* lo = d + 2 * base;
-      double* hi = lo + 2 * half;
-      for (std::size_t k = 0; k < half; ++k) {
-        const double wr = tw[2 * k], wi = tw[2 * k + 1];
-        const double hr = hi[2 * k], hiq = hi[2 * k + 1];
-        const double tr = wr * hr - wi * hiq, ti = wr * hiq + wi * hr;
-        const double ur = lo[2 * k], ui = lo[2 * k + 1];
-        lo[2 * k] = ur + tr;
-        lo[2 * k + 1] = ui + ti;
-        hi[2 * k] = ur - tr;
-        hi[2 * k + 1] = ui - ti;
-      }
-    }
+}
+
+namespace {
+
+/// Tail of the banded first-pass block butterfly, shared by all zero-pattern
+/// cases: combines the stage-2 results (a0, a1) and (a2, a3) into the block.
+inline void banded_block_combine(double* p, double isign, double a0r, double a0i, double a1r,
+                                 double a1i, double a2r, double a2i, double a3r, double a3i) {
+  const double b3r = -isign * a3i, b3i = isign * a3r;  // (-+i) * a3
+  p[0] = a0r + a2r;
+  p[1] = a0i + a2i;
+  p[4] = a0r - a2r;
+  p[5] = a0i - a2i;
+  p[2] = a1r + b3r;
+  p[3] = a1i + b3i;
+  p[6] = a1r - b3r;
+  p[7] = a1i - b3i;
+}
+
+}  // namespace
+
+void Fft1D::transform_banded(std::span<Cplx> x, bool inverse, std::size_t band) const {
+  // The band only thins the first fused pass; for tiny transforms, a band
+  // that covers every index, or one too narrow for the case split below,
+  // the dense path does the same work on the in-memory zeros.
+  if (n_ < 16 || band >= n_ / 2 || band < n_ / 4) {
+    transform(x, inverse);
+    return;
   }
+  TURBDA_REQUIRE(x.size() == n_, "FFT input length " << x.size() << " != plan length " << n_);
+  double* d = reinterpret_cast<double*>(x.data());
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // First fused pass (stages len 2 and 4), input-band-pruned. After the
+  // bit-reversal, the block at positions [4q, 4q+4) holds the original
+  // indices o0, o0 + n/2, o0 + n/4, o0 + 3n/4 with o0 = bitrev[4q] < n/4.
+  // For a wrapped band with n/4 <= band < n/2, o0 and o0 + 3n/4 are always
+  // inside it, while o0 + n/2 is zero iff o0 < n/2 - band and o0 + n/4 is
+  // zero iff o0 > band - n/4 — three contiguous o0 ranges, so iterating o0
+  // ascending (block address 2 * bitrev[o0]; the whole pass is n complex
+  // and L1-resident) turns the case split into three branch-free loops
+  // whose zero-operand stage-2 butterflies collapse to copies/negates.
+  const double isign = inverse ? 1.0 : -1.0;
+  const std::size_t quarter = n_ / 4;
+  const std::size_t z2_from = band - quarter + 1;  // first o0 with z2 == 0
+  const std::size_t z1_until = n_ / 2 - band;      // first o0 with z1 != 0
+  // o0 in [0, min(z2_from, z1_until)): z1 zero, z2 live.
+  for (std::size_t o0 = 0; o0 < std::min(z2_from, z1_until); ++o0) {
+    double* p = d + 2 * bitrev_[o0];
+    banded_block_combine(p, isign, p[0], p[1], p[0], p[1], p[4] + p[6], p[5] + p[7], p[4] - p[6],
+                         p[5] - p[7]);
+  }
+  // o0 in [z2_from, z1_until): z1 and z2 both zero (band < 3n/8).
+  for (std::size_t o0 = z2_from; o0 < z1_until; ++o0) {
+    double* p = d + 2 * bitrev_[o0];
+    banded_block_combine(p, isign, p[0], p[1], p[0], p[1], p[6], p[7], -p[6], -p[7]);
+  }
+  // o0 in [z1_until, z2_from): z1 and z2 both live (band > 3n/8): dense.
+  for (std::size_t o0 = z1_until; o0 < z2_from; ++o0) {
+    double* p = d + 2 * bitrev_[o0];
+    banded_block_combine(p, isign, p[0] + p[2], p[1] + p[3], p[0] - p[2], p[1] - p[3],
+                         p[4] + p[6], p[5] + p[7], p[4] - p[6], p[5] - p[7]);
+  }
+  // o0 in [max(z2_from, z1_until), n/4): z1 live, z2 zero.
+  for (std::size_t o0 = std::max(z2_from, z1_until); o0 < quarter; ++o0) {
+    double* p = d + 2 * bitrev_[o0];
+    banded_block_combine(p, isign, p[0] + p[2], p[1] + p[3], p[0] - p[2], p[1] - p[3], p[6], p[7],
+                         -p[6], -p[7]);
+  }
+  general_stages(d, inverse, active_kernels());
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(n_);
     for (auto& v : x) v *= scale;
@@ -186,16 +203,8 @@ void Rfft1D::forward(std::span<const double> x, std::span<Cplx> spec) const {
   const Cplx z0 = spec[0];
   spec[0] = Cplx(z0.real() + z0.imag(), 0.0);
   const Cplx dc_mirror(z0.real() - z0.imag(), 0.0);
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kc = h - k;
-    const Cplx zk = spec[k];
-    const Cplx zc = std::conj(spec[kc]);
-    const Cplx e = 0.5 * (zk + zc);
-    const Cplx o = Cplx(0.0, -0.5) * (zk - zc);
-    const Cplx t = w_[k] * o;
-    spec[k] = e + t;
-    spec[kc] = std::conj(e - t);
-  }
+  active_kernels().rfft_pack(reinterpret_cast<double*>(spec.data()),
+                             reinterpret_cast<const double*>(w_.data()), h);
   if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);  // w^(h/2) = -i, exactly
   spec[h] = dc_mirror;
 }
@@ -207,17 +216,8 @@ void Rfft1D::inverse_inplace(std::span<Cplx> spec, std::span<double> x) const {
   const double e0 = spec[0].real();
   const double eh = spec[h].real();
   spec[0] = Cplx(0.5 * (e0 + eh), 0.5 * (e0 - eh));
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kc = h - k;
-    const Cplx a = spec[k];
-    const Cplx b = std::conj(spec[kc]);
-    const Cplx e = 0.5 * (a + b);
-    const Cplx ot = 0.5 * (a - b);  // = w^k O[k]
-    const Cplx o = std::conj(w_[k]) * ot;
-    const Cplx oc = w_[k] * std::conj(ot);  // O at the mirror bin
-    spec[k] = e + Cplx(-o.imag(), o.real());
-    spec[kc] = std::conj(e) + Cplx(-oc.imag(), oc.real());
-  }
+  active_kernels().rfft_unpack(reinterpret_cast<double*>(spec.data()),
+                               reinterpret_cast<const double*>(w_.data()), h);
   if (h >= 2) spec[h / 2] = std::conj(spec[h / 2]);
   half_.inverse(spec.first(h));
   for (std::size_t j = 0; j < h; ++j) {
@@ -284,9 +284,12 @@ void run_partitioned(std::size_t n, std::size_t min_grain, std::size_t max_par, 
 
 /// Transforms `count` contiguous rows of length `len`, skipping all-zero rows
 /// (a transform of zeros is zeros; the SQG tendency inverts dealiased spectra
-/// whose outer third of rows vanishes identically).
+/// whose outer third of rows vanishes identically). When `band` < len/2 the
+/// caller guarantees every row is nonzero only on the wrapped index band
+/// (j <= band or j >= len - band) and the input-pruned banded transform is
+/// used; pass band >= len/2 (e.g. len) for dense rows.
 void batch_transform(Cplx* data, std::size_t count, std::size_t len, const Fft1D& plan,
-                     bool inverse, std::size_t max_par) {
+                     bool inverse, std::size_t max_par, std::size_t band) {
   if (count * len < 2048) max_par = 1;  // fork/join would dominate
   run_partitioned(count, /*min_grain=*/4, max_par, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
@@ -294,12 +297,17 @@ void batch_transform(Cplx* data, std::size_t count, std::size_t len, const Fft1D
       if (all_zero(row, len)) continue;
       std::span<Cplx> s(row, len);
       if (inverse) {
-        plan.inverse(s);
+        plan.inverse_banded(s, band);
       } else {
-        plan.forward(s);
+        plan.forward_banded(s, band);
       }
     }
   });
+}
+
+void batch_transform(Cplx* data, std::size_t count, std::size_t len, const Fft1D& plan,
+                     bool inverse, std::size_t max_par) {
+  batch_transform(data, count, len, plan, inverse, max_par, /*band=*/len);
 }
 
 /// Two per-thread scratch arenas (a 2-D transform needs at most two live
@@ -450,7 +458,11 @@ void Fft2D::half_inverse_impl(std::span<const Cplx> hspec, std::span<double> gri
 
   auto& tbuf = tls_buffer(1, cols * n0_);
   transpose_blocked(hspec.data(), nh, tbuf.data(), n0_, cols);
-  batch_transform(tbuf.data(), cols, n0_, col_, /*inverse=*/true, threads_);
+  // Within each retained column only the 2*kcut+1 low-|my| rows are nonzero
+  // (wrapped band); the banded transform prunes the first butterfly stages
+  // on that band. Degrades to the dense transform when kcut covers n0/2.
+  batch_transform(tbuf.data(), cols, n0_, col_, /*inverse=*/true, threads_,
+                  /*band=*/std::min(kcut, n0_ / 2));
 
   auto& hbuf = tls_buffer(0, n0_ * nh);
   if (cols < nh) {  // truncated tail bins are identically zero
@@ -463,6 +475,44 @@ void Fft2D::half_inverse_impl(std::span<const Cplx> hspec, std::span<double> gri
     for (std::size_t i = b; i < e; ++i)
       rrow_->inverse_inplace(std::span<Cplx>(hbuf.data() + i * nh, nh),
                              grid.subspan(i * n1_, n1_));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Batched pruned half-spectrum transforms: one pool fan-out over the whole
+// batch, each worker running complete per-field transforms. Field-granular
+// dispatch deliberately preserves the single-field cache pipeline — a
+// field's rows, transposes and columns stay hot in that worker's scratch
+// across the stages (a fused per-stage sweep over all fields was measured
+// ~8% slower serially at n=128: it streams the whole batch between stages).
+// Serially this is exactly `count` single-field calls; threaded, the grain
+// is whole fields instead of row ranges, and the nested per-field fan-out
+// degrades gracefully to serial inside workers.
+// ---------------------------------------------------------------------------
+
+void Fft2D::forward_half_pruned_batch(std::span<const double* const> grids,
+                                      std::span<Cplx* const> hspecs, std::size_t kcut) const {
+  TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
+  TURBDA_REQUIRE(grids.size() == hspecs.size(),
+                 "forward_half_pruned_batch: " << grids.size() << " grids vs " << hspecs.size()
+                                               << " spectra");
+  run_partitioned(grids.size(), /*min_grain=*/1, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t f = b; f < e; ++f)
+      half_forward_impl(std::span<const double>(grids[f], n0_ * n1_),
+                        std::span<Cplx>(hspecs[f], half_size()), kcut);
+  });
+}
+
+void Fft2D::inverse_half_pruned_batch(std::span<const Cplx* const> hspecs,
+                                      std::span<double* const> grids, std::size_t kcut) const {
+  TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
+  TURBDA_REQUIRE(grids.size() == hspecs.size(),
+                 "inverse_half_pruned_batch: " << hspecs.size() << " spectra vs " << grids.size()
+                                               << " grids");
+  run_partitioned(hspecs.size(), /*min_grain=*/1, threads_, [&](std::size_t b, std::size_t e) {
+    for (std::size_t f = b; f < e; ++f)
+      half_inverse_impl(std::span<const Cplx>(hspecs[f], half_size()),
+                        std::span<double>(grids[f], n0_ * n1_), kcut);
   });
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "fft/simd_kernels.hpp"
 
 namespace turbda::fft {
 
@@ -37,8 +38,26 @@ class Fft1D {
   /// In-place inverse DFT with 1/n normalization.
   void inverse(std::span<Cplx> x) const { transform(x, /*inverse=*/true); }
 
+  /// As forward()/inverse(), but the caller guarantees the input is nonzero
+  /// only on the wrapped index band j <= band or j >= n - band (the shape of
+  /// a dealiased |my| <= kcut spectral column). The first fused butterfly
+  /// pass skips the arithmetic the band proves trivial; later stages are
+  /// dense. Results match the dense transform except that skipped
+  /// zero-operand additions may flip the sign of a zero (value-identical,
+  /// 1e-12-test-enforced). band >= n/2 degrades to the dense transform.
+  void forward_banded(std::span<Cplx> x, std::size_t band) const {
+    transform_banded(x, /*inverse=*/false, band);
+  }
+  void inverse_banded(std::span<Cplx> x, std::size_t band) const {
+    transform_banded(x, /*inverse=*/true, band);
+  }
+
  private:
   void transform(std::span<Cplx> x, bool inverse) const;
+  void transform_banded(std::span<Cplx> x, bool inverse, std::size_t band) const;
+  /// The butterfly stages shared by the dense and banded paths: fused
+  /// radix-2² pairs plus the odd remaining radix-2 stage, starting at stage 3.
+  void general_stages(double* d, bool inverse, const FftKernels& kr) const;
 
   std::size_t n_;
   int log2n_;
@@ -139,13 +158,28 @@ class Fft2D {
   void forward_half_pruned(std::span<const double> grid, std::span<Cplx> hspec,
                            std::size_t kcut) const;
 
-  /// As inverse_half, but skips the column transforms for mx > kcut. The
-  /// caller must guarantee hspec is zero on those columns (e.g. a spectrum
-  /// produced by forward_half_pruned, scaled pointwise); bins with
-  /// |my| > kcut need no guarantee — zeros there merely make the retained
-  /// column transforms exact no-ops on those inputs.
+  /// As inverse_half, but skips the column transforms for mx > kcut and
+  /// runs the retained columns through the input-band-pruned 1-D transform.
+  /// The caller must guarantee hspec is zero outside the |mx| <= kcut,
+  /// |my| <= kcut square (e.g. a spectrum produced by forward_half_pruned,
+  /// scaled pointwise) — the truncated columns are skipped entirely and the
+  /// |my| > kcut rows feed the banded first butterfly pass as proven zeros.
   void inverse_half_pruned(std::span<const Cplx> hspec, std::span<double> grid,
                            std::size_t kcut) const;
+
+  /// Batched pruned half-spectrum transforms: the transform above applied to
+  /// `grids.size()` independent field pairs through a single pool fan-out,
+  /// each worker running complete per-field transforms (field-granular
+  /// dispatch keeps every field's stages hot in its worker's scratch — see
+  /// the implementation note). This is the ensemble-block shape: the SQG
+  /// batched member step funnels every member's derivative fields through
+  /// one call. Each pointer addresses a full n0*n1 real grid / half_size()
+  /// spectrum; per-field results are bitwise identical to the corresponding
+  /// single-field call for any thread count.
+  void forward_half_pruned_batch(std::span<const double* const> grids,
+                                 std::span<Cplx* const> hspecs, std::size_t kcut) const;
+  void inverse_half_pruned_batch(std::span<const Cplx* const> hspecs,
+                                 std::span<double* const> grids, std::size_t kcut) const;
 
  private:
   void transform2d(std::span<Cplx> x, bool inverse) const;

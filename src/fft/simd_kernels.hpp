@@ -1,0 +1,68 @@
+// Runtime-dispatched SIMD micro-kernels for the FFT hot loops.
+//
+// The radix-2² fused butterfly passes, the final odd radix-2 pass, the fused
+// length-2/4 first stage and the Rfft1D Hermitian pack/unpack sweeps all run
+// on raw interleaved (re, im) doubles — exactly the loop shape an AVX2 lane
+// pair wants. Each of those loops exists in three interchangeable versions
+// behind one table of function pointers:
+//
+//  - Scalar:  portable C++, always available, compiled with -ffp-contract=off
+//             so it stays bitwise reproducible even under -march=native.
+//  - Avx2:    AVX2 intrinsics, one mul/add per IEEE operation in the same
+//             per-element order as the scalar code — bitwise identical to it.
+//  - Avx2Fma: AVX2 + FMA; the twiddle multiplies contract into fused
+//             multiply-adds (one rounding instead of two), so results agree
+//             with the scalar path to ~1 ulp per butterfly, not bitwise.
+//
+// The active level is chosen once at startup from CPUID (the portable build
+// benefits on AVX2 hardware without TURBDA_NATIVE), can be forced down with
+// the TURBDA_SIMD environment variable (scalar | avx2 | avx2fma), and can be
+// overridden programmatically for tests. Dispatch is process-global, so all
+// thread-count bitwise-invariance guarantees are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace turbda::fft {
+
+enum class SimdLevel : int { Scalar = 0, Avx2 = 1, Avx2Fma = 2 };
+
+/// All FFT inner loops, one function pointer per loop. Buffers are raw
+/// interleaved (re, im) doubles (std::complex array-compatible layout).
+struct FftKernels {
+  /// Stages of butterfly length 2 and 4 fused (exact ±1/±i twiddles), over
+  /// the whole bit-reversed array: n2 = 2 * n doubles, n >= 4 complex.
+  /// isign = -1 forward, +1 inverse.
+  void (*pass_first)(double* d, std::size_t n2, double isign);
+  /// Fused radix-2² pass (stages s and s+1): blocks of 4 * half complex,
+  /// stage-s twiddles tw, stage-(s+1) twiddles tw1; half >= 4 and even.
+  void (*pass_radix4)(double* d, std::size_t n, std::size_t half, const double* tw,
+                      const double* tw1);
+  /// Single radix-2 pass (the odd remaining stage); half >= 4 and even.
+  void (*pass_radix2)(double* d, std::size_t n, std::size_t half, const double* tw);
+  /// Rfft1D forward Hermitian combine for bins k in [1, h-k): spec holds
+  /// h + 1 interleaved complex bins, w the exp(-2πi k / n) twiddles.
+  void (*rfft_pack)(double* spec, const double* w, std::size_t h);
+  /// Rfft1D inverse Hermitian split for the same bin range.
+  void (*rfft_unpack)(double* spec, const double* w, std::size_t h);
+};
+
+/// Kernel table for the given level; level must be available.
+[[nodiscard]] const FftKernels& kernels_for(SimdLevel level);
+
+/// Table for the active level (detection + TURBDA_SIMD applied on first use).
+[[nodiscard]] const FftKernels& active_kernels();
+
+[[nodiscard]] SimdLevel active_simd_level();
+[[nodiscard]] const char* simd_level_name(SimdLevel level);
+
+/// True when the level's kernels are compiled in and the CPU supports them.
+[[nodiscard]] bool simd_level_available(SimdLevel level);
+
+/// Force the dispatch level (tests and benches; no-op returning false when
+/// the level is unavailable). Affects the whole process — do not call
+/// concurrently with in-flight transforms.
+bool force_simd_level(SimdLevel level);
+
+}  // namespace turbda::fft

@@ -21,10 +21,21 @@ class ForecastModel {
   /// Advance `state` in place over one assimilation window.
   virtual void forecast(std::span<double> state) = 0;
 
-  /// True when forecast() may be called concurrently from several threads on
-  /// disjoint states (no shared mutable scratch). The OSSE driver fans the
-  /// ensemble member loop out over the thread pool only for models that opt
-  /// in; the default is the conservative serial contract.
+  /// Advance `count` states stored contiguously (count x dim(), row-major —
+  /// the Ensemble member layout) in place over one assimilation window.
+  /// Must be bitwise identical to calling forecast() on each row in order
+  /// (the cycling drivers hand each worker thread a member *block* through
+  /// this entry point); models override it to batch cross-member work — the
+  /// SQG core fuses the block's spectral transforms into shared sweeps.
+  virtual void forecast_batch(std::span<double> states, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) forecast(states.subspan(i * dim(), dim()));
+  }
+
+  /// True when forecast()/forecast_batch() may be called concurrently from
+  /// several threads on disjoint states (no shared mutable scratch). The
+  /// OSSE driver fans the ensemble member loop out over the thread pool only
+  /// for models that opt in; the default is the conservative serial
+  /// contract.
   [[nodiscard]] virtual bool concurrent_safe() const { return false; }
 
   [[nodiscard]] virtual std::string name() const = 0;

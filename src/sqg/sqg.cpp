@@ -51,6 +51,31 @@ SqgWorkspace& tls_workspace(std::size_t n) {
   return *cache.back();
 }
 
+void SqgBatchWorkspace::resize(std::size_t grid_n, std::size_t members) {
+  n = grid_n;
+  m = members;
+  const std::size_t nn = grid_n * grid_n;
+  const std::size_t ns = grid_n * (grid_n / 2 + 1);
+  for (auto* v : {&spec, &stage, &k1, &k2, &k3, &k4}) v->resize(m * 2 * ns);
+  for (auto* v : {&psi, &duh, &dvh, &dtx, &dty, &jac}) v->resize(m * ns);
+  for (auto* v : {&gu, &gv, &gtx, &gty, &gj}) v->resize(m * nn);
+  spec_ptrs.reserve(4 * m);
+  out_ptrs.reserve(4 * m);
+  grid_cptrs.reserve(4 * m);
+  grid_ptrs.reserve(4 * m);
+}
+
+SqgBatchWorkspace& tls_batch_workspace(std::size_t n, std::size_t m) {
+  thread_local std::vector<std::unique_ptr<SqgBatchWorkspace>> cache;
+  for (auto& w : cache)
+    if (w->n == n) {
+      if (w->m < m) w->resize(n, m);
+      return *w;
+    }
+  cache.push_back(std::make_unique<SqgBatchWorkspace>(n, m));
+  return *cache.back();
+}
+
 SqgModel::SqgModel(SqgConfig cfg)
     : cfg_(cfg),
       nn_(cfg.n * cfg.n),
@@ -254,6 +279,145 @@ void SqgModel::step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) 
 void SqgModel::advance(std::span<double> theta_grid, double seconds, SqgWorkspace& ws) const {
   const int nsteps = static_cast<int>(std::ceil(seconds / cfg_.dt - 1e-9));
   if (nsteps > 0) step(theta_grid, nsteps, ws);
+}
+
+// ---------------------------------------------------------------------------
+// Batched member stepping: a block of members advances together, with every
+// spectral transform of the tendency fused across the block (shared
+// transposes, one twiddle-table walk per sweep) and the RK4 combines running
+// over the block's bins in one pass. Per-member arithmetic is identical to
+// the scalar step()/tendency() path — the bitwise batch == sequential
+// invariant the forecast drivers rely on (test-enforced).
+// ---------------------------------------------------------------------------
+
+void SqgModel::tendency_batch(std::span<const Cplx> specs, std::span<Cplx> outs,
+                              std::size_t count, SqgBatchWorkspace& ws) const {
+  const std::size_t ns = ns_;
+  for (std::size_t l = 0; l < 2; ++l) {
+    const double* cA = (l == 0) ? inv_sinh_.data() : inv_tanh_.data();
+    const double* cB = (l == 0) ? inv_tanh_.data() : inv_sinh_.data();
+    // Pass 1 per member (fused inversion + derivatives; same loop body as
+    // tendency()), writing the block's four derivative half-spectra.
+    for (std::size_t b = 0; b < count; ++b) {
+      const Cplx* t0 = specs.data() + b * 2 * ns;
+      const Cplx* t1 = t0 + ns;
+      const Cplx* th = t0 + l * ns;
+      Cplx* ps = ws.psi.data() + b * ns;
+      Cplx* duh = ws.duh.data() + b * ns;
+      Cplx* dvh = ws.dvh.data() + b * ns;
+      Cplx* dtx = ws.dtx.data() + b * ns;
+      Cplx* dty = ws.dty.data() + b * ns;
+      for (std::size_t p = 0; p < ns; ++p) {
+        const Cplx psv = inv_kappa_[p] * (t1[p] * cA[p] - t0[p] * cB[p]);
+        ps[p] = psv;
+        const double kxv = kx_[p];
+        const double kyv = ky_[p];
+        const Cplx thv = th[p];
+        duh[p] = Cplx(kyv * psv.imag(), -kyv * psv.real());   // -i ky psi
+        dvh[p] = Cplx(-kxv * psv.imag(), kxv * psv.real());   // +i kx psi
+        dtx[p] = Cplx(-kxv * thv.imag(), kxv * thv.real());   // +i kx theta
+        dty[p] = Cplx(-kyv * thv.imag(), kyv * thv.real());   // +i ky theta
+      }
+    }
+
+    // All 4 x count c2r transforms of the block as one fused batch.
+    ws.spec_ptrs.clear();
+    ws.grid_ptrs.clear();
+    for (std::size_t b = 0; b < count; ++b) {
+      ws.spec_ptrs.push_back(ws.duh.data() + b * ns);
+      ws.grid_ptrs.push_back(ws.gu.data() + b * nn_);
+      ws.spec_ptrs.push_back(ws.dvh.data() + b * ns);
+      ws.grid_ptrs.push_back(ws.gv.data() + b * nn_);
+      ws.spec_ptrs.push_back(ws.dtx.data() + b * ns);
+      ws.grid_ptrs.push_back(ws.gtx.data() + b * nn_);
+      ws.spec_ptrs.push_back(ws.dty.data() + b * ns);
+      ws.grid_ptrs.push_back(ws.gty.data() + b * nn_);
+    }
+    fft_.inverse_half_pruned_batch(ws.spec_ptrs, ws.grid_ptrs, kcut_);
+
+    // Nonlinear advection in grid space, then one batched dealiasing r2c.
+    for (std::size_t b = 0; b < count; ++b) {
+      const double* gu = ws.gu.data() + b * nn_;
+      const double* gv = ws.gv.data() + b * nn_;
+      const double* gtx = ws.gtx.data() + b * nn_;
+      const double* gty = ws.gty.data() + b * nn_;
+      double* gj = ws.gj.data() + b * nn_;
+      for (std::size_t p = 0; p < nn_; ++p) gj[p] = gu[p] * gtx[p] + gv[p] * gty[p];
+    }
+    ws.grid_cptrs.clear();
+    ws.out_ptrs.clear();
+    for (std::size_t b = 0; b < count; ++b) {
+      ws.grid_cptrs.push_back(ws.gj.data() + b * nn_);
+      ws.out_ptrs.push_back(ws.jac.data() + b * ns);
+    }
+    fft_.forward_half_pruned_batch(ws.grid_cptrs, ws.out_ptrs, kcut_);
+
+    // Pass 2 per member (fused combine; same loop body as tendency()).
+    const Cplx* lt = op_theta_[l].data();
+    const Cplx* lp = op_psi_[l].data();
+    for (std::size_t b = 0; b < count; ++b) {
+      const Cplx* th = specs.data() + b * 2 * ns + l * ns;
+      const Cplx* ps = ws.psi.data() + b * ns;
+      const Cplx* jc = ws.jac.data() + b * ns;
+      Cplx* dth = outs.data() + b * 2 * ns + l * ns;
+      for (std::size_t p = 0; p < ns; ++p) dth[p] = lt[p] * th[p] + lp[p] * ps[p] - jc[p];
+    }
+  }
+}
+
+void SqgModel::step_batch(std::span<double> states, std::size_t count, int nsteps,
+                          SqgBatchWorkspace& ws) const {
+  TURBDA_REQUIRE(states.size() == count * dim(),
+                 "step_batch: state block size " << states.size() << " != " << count << " x "
+                                                 << dim());
+  if (count == 0) return;
+  const std::size_t block = std::min(count, std::max<std::size_t>(cfg_.batch_block, 1));
+  if (ws.n != cfg_.n || ws.m < block) ws.resize(cfg_.n, block);
+  const double dt = cfg_.dt;
+
+  for (std::size_t b0 = 0; b0 < count; b0 += block) {
+    const std::size_t nb = std::min(block, count - b0);
+    // Batched to_spectral: both levels of every member in one sweep.
+    ws.grid_cptrs.clear();
+    ws.out_ptrs.clear();
+    for (std::size_t b = 0; b < nb; ++b)
+      for (std::size_t l = 0; l < 2; ++l) {
+        ws.grid_cptrs.push_back(states.data() + (b0 + b) * dim() + l * nn_);
+        ws.out_ptrs.push_back(ws.spec.data() + b * 2 * ns_ + l * ns_);
+      }
+    fft_.forward_half_pruned_batch(ws.grid_cptrs, ws.out_ptrs, kcut_);
+
+    const std::size_t m = nb * 2 * ns_;
+    for (int s = 0; s < nsteps; ++s) {
+      tendency_batch(ws.spec, ws.k1, nb, ws);
+      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k1[i];
+      tendency_batch(ws.stage, ws.k2, nb, ws);
+      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k2[i];
+      tendency_batch(ws.stage, ws.k3, nb, ws);
+      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + dt * ws.k3[i];
+      tendency_batch(ws.stage, ws.k4, nb, ws);
+      for (std::size_t i = 0; i < m; ++i)
+        ws.spec[i] += dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
+      for (std::size_t b = 0; b < nb; ++b)
+        apply_hyperdiffusion(std::span<Cplx>(ws.spec.data() + b * 2 * ns_, 2 * ns_));
+    }
+
+    // Batched to_grid.
+    ws.spec_ptrs.clear();
+    ws.grid_ptrs.clear();
+    for (std::size_t b = 0; b < nb; ++b)
+      for (std::size_t l = 0; l < 2; ++l) {
+        ws.spec_ptrs.push_back(ws.spec.data() + b * 2 * ns_ + l * ns_);
+        ws.grid_ptrs.push_back(states.data() + (b0 + b) * dim() + l * nn_);
+      }
+    fft_.inverse_half_pruned_batch(ws.spec_ptrs, ws.grid_ptrs, kcut_);
+  }
+}
+
+void SqgModel::advance_batch(std::span<double> states, std::size_t count, double seconds,
+                             SqgBatchWorkspace& ws) const {
+  const int nsteps = static_cast<int>(std::ceil(seconds / cfg_.dt - 1e-9));
+  if (nsteps > 0) step_batch(states, count, nsteps, ws);
 }
 
 void SqgModel::random_init(std::span<double> theta_grid, rng::Rng& rng, double rms_amplitude,

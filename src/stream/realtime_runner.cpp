@@ -62,18 +62,24 @@ std::vector<double> RealtimeRunner::draw_shared_error(int cycle) const {
 
 /// Identical to the offline OSSE member loop: disjoint state rows +
 /// counter-based model-error substreams make it bitwise invariant to the
-/// thread count and to the schedule.
-void RealtimeRunner::forecast_one_member(int cycle, std::size_t m,
-                                         const std::vector<double>& shared_err) {
-  forecast_model_.forecast(ens_->member(m));
+/// thread count, the schedule, and the block partition (forecast_batch is
+/// bitwise identical to the member-sequential loop by contract).
+void RealtimeRunner::forecast_block(int cycle, std::size_t b, std::size_t e,
+                                    const std::vector<double>& shared_err) {
+  const std::size_t d = forecast_model_.dim();
+  // Ensemble members are contiguous rows, so the block is one dense span.
+  std::span<double> block(ens_->member(b).data(), (e - b) * d);
+  forecast_model_.forecast_batch(block, e - b);
   if (cfg_.inject_model_error) {
-    if (cfg_.model_error_shared) {
-      auto row = ens_->member(m);
-      for (std::size_t i = 0; i < row.size(); ++i) row[i] += shared_err[i];
-    } else {
-      rng::Rng r_me = rng_modelerr_->substream(
-          static_cast<std::uint64_t>(cycle) * cfg_.n_members + m + 1000000);
-      model_error_->apply(ens_->member(m), r_me);
+    for (std::size_t m = b; m < e; ++m) {
+      if (cfg_.model_error_shared) {
+        auto row = ens_->member(m);
+        for (std::size_t i = 0; i < row.size(); ++i) row[i] += shared_err[i];
+      } else {
+        rng::Rng r_me = rng_modelerr_->substream(
+            static_cast<std::uint64_t>(cycle) * cfg_.n_members + m + 1000000);
+        model_error_->apply(ens_->member(m), r_me);
+      }
     }
   }
 }
@@ -83,12 +89,10 @@ void RealtimeRunner::forecast_members(int cycle) {
   if (forecast_model_.concurrent_safe() && cfg_.n_forecast_threads != 1) {
     parallel::parallel_for(
         cfg_.n_members,
-        [&](std::size_t b, std::size_t e) {
-          for (std::size_t m = b; m < e; ++m) forecast_one_member(cycle, m, shared_err);
-        },
+        [&](std::size_t b, std::size_t e) { forecast_block(cycle, b, e, shared_err); },
         /*min_grain=*/1, cfg_.n_forecast_threads);
   } else {
-    for (std::size_t m = 0; m < cfg_.n_members; ++m) forecast_one_member(cycle, m, shared_err);
+    forecast_block(cycle, 0, cfg_.n_members, shared_err);
   }
 }
 
@@ -310,9 +314,8 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
     const std::size_t chunk = (cfg_.n_members + par - 1) / par;
     for (std::size_t b = 0; b < cfg_.n_members; b += chunk) {
       const std::size_t e = std::min(b + chunk, cfg_.n_members);
-      tasks.push_back(pool.submit([this, k1, b, e, &shared_err] {
-        for (std::size_t m = b; m < e; ++m) forecast_one_member(k1, m, shared_err);
-      }));
+      tasks.push_back(pool.submit(
+          [this, k1, b, e, &shared_err] { forecast_block(k1, b, e, shared_err); }));
     }
 
     // Inline analysis on the caller thread: its internal parallel_for

@@ -122,11 +122,15 @@ class RealtimeRunner {
 
   /// Window-`cycle` shared model-error realization (empty unless configured).
   [[nodiscard]] std::vector<double> draw_shared_error(int cycle) const;
-  /// One member's forecast + model error — the single definition both
-  /// schedules use, so the bitwise serial==overlapped invariant cannot
-  /// drift apart.
-  void forecast_one_member(int cycle, std::size_t m,
-                           const std::vector<double>& shared_err);
+  /// Forecast + model error for the contiguous member block [b, e) — the
+  /// single definition both schedules use, so the bitwise
+  /// serial==overlapped invariant cannot drift apart. Each worker thread
+  /// owns one block: the forecast goes through the model's batched entry
+  /// point (ForecastModel::forecast_batch, bitwise identical to the
+  /// member-sequential loop), so batching-capable models amortize
+  /// transforms across the block.
+  void forecast_block(int cycle, std::size_t b, std::size_t e,
+                      const std::vector<double>& shared_err);
   void forecast_members(int cycle);
   CollectResult collect_batches(int cycle);
   /// Free-run path: batches are produced but never analyzed — drain them so

@@ -410,6 +410,208 @@ TEST(Fft2d, HalfResultsBitwiseIndependentOfThreadCount) {
   }
 }
 
+// --- SIMD dispatch equivalence ----------------------------------------------
+
+/// Restores the entry dispatch level even when an assertion fails mid-test.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(active_simd_level()) {}
+  ~SimdLevelGuard() { force_simd_level(saved_); }
+
+ private:
+  SimdLevel saved_;
+};
+
+TEST(SimdDispatch, ScalarLevelIsAlwaysAvailable) {
+  SimdLevelGuard guard;
+  EXPECT_TRUE(simd_level_available(SimdLevel::Scalar));
+  EXPECT_TRUE(force_simd_level(SimdLevel::Scalar));
+  EXPECT_EQ(active_simd_level(), SimdLevel::Scalar);
+  EXPECT_STREQ(simd_level_name(SimdLevel::Scalar), "scalar");
+}
+
+// Every dispatched kernel (first pass, fused radix-2^2, odd radix-2, rfft
+// pack/unpack) against the forced-scalar reference: the Avx2 level performs
+// the identical IEEE operations lane-parallel and must match bitwise; the
+// Avx2Fma level contracts the twiddle multiplies and must agree to ~1 ulp
+// per butterfly (1e-12 here). The size sweep covers even and odd stage
+// counts and the vector-remainder paths of the rfft kernels.
+TEST(SimdDispatch, Fft1dMatchesScalarAcrossLevels) {
+  SimdLevelGuard guard;
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    Rng rng(101 + n);
+    std::vector<Cplx> x0(n);
+    for (auto& v : x0) v = Cplx(rng.gaussian(), rng.gaussian());
+    Fft1D plan(n);
+    ASSERT_TRUE(force_simd_level(SimdLevel::Scalar));
+    auto fwd_ref = x0;
+    plan.forward(fwd_ref);
+    auto inv_ref = x0;
+    plan.inverse(inv_ref);
+    double scale = 0.0;
+    for (const auto& v : fwd_ref) scale = std::max(scale, std::abs(v));
+
+    for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx2Fma}) {
+      if (!simd_level_available(level)) continue;
+      ASSERT_TRUE(force_simd_level(level));
+      auto fwd = x0;
+      plan.forward(fwd);
+      auto inv = x0;
+      plan.inverse(inv);
+      if (level == SimdLevel::Avx2) {
+        EXPECT_EQ(0, std::memcmp(fwd.data(), fwd_ref.data(), n * sizeof(Cplx)))
+            << "n=" << n << " level=" << simd_level_name(level);
+        EXPECT_EQ(0, std::memcmp(inv.data(), inv_ref.data(), n * sizeof(Cplx)))
+            << "n=" << n << " level=" << simd_level_name(level);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_NEAR(fwd[i].real(), fwd_ref[i].real(), 1e-12 * scale) << n << "," << i;
+          ASSERT_NEAR(fwd[i].imag(), fwd_ref[i].imag(), 1e-12 * scale) << n << "," << i;
+          ASSERT_NEAR(inv[i].real(), inv_ref[i].real(), 1e-12) << n << "," << i;
+          ASSERT_NEAR(inv[i].imag(), inv_ref[i].imag(), 1e-12) << n << "," << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, Rfft1dMatchesScalarAcrossLevels) {
+  SimdLevelGuard guard;
+  for (const std::size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    Rng rng(211 + n);
+    // Degenerate inputs matter as much as random ones: a delta or constant
+    // row makes whole pack/unpack lanes exactly zero, which is where a
+    // sign-of-zero slip in the vector kernels would hide from gaussians.
+    std::vector<std::vector<double>> inputs(3, std::vector<double>(n, 0.0));
+    rng.fill_gaussian(inputs[0]);
+    inputs[1][0] = 1.0;                                    // delta
+    for (std::size_t j = 0; j < n; ++j) inputs[2][j] = 0.25;  // constant
+    for (const auto& x : inputs) {
+      Rfft1D plan(n);
+      std::vector<Cplx> spec_ref(plan.spec_size());
+      std::vector<double> back_ref(n);
+      ASSERT_TRUE(force_simd_level(SimdLevel::Scalar));
+      plan.forward(x, spec_ref);
+      plan.inverse(spec_ref, back_ref);
+      double scale = 0.0;
+      for (const auto& v : spec_ref) scale = std::max(scale, std::abs(v));
+
+      for (const SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx2Fma}) {
+        if (!simd_level_available(level)) continue;
+        ASSERT_TRUE(force_simd_level(level));
+        std::vector<Cplx> spec(plan.spec_size());
+        std::vector<double> back(n);
+        plan.forward(x, spec);
+        plan.inverse(spec, back);
+        if (level == SimdLevel::Avx2) {
+          EXPECT_EQ(0, std::memcmp(spec.data(), spec_ref.data(), spec.size() * sizeof(Cplx)))
+              << "n=" << n;
+          EXPECT_EQ(0, std::memcmp(back.data(), back_ref.data(), n * sizeof(double)))
+              << "n=" << n;
+        } else {
+          for (std::size_t i = 0; i < spec.size(); ++i) {
+            ASSERT_NEAR(spec[i].real(), spec_ref[i].real(), 1e-12 * scale) << n << "," << i;
+            ASSERT_NEAR(spec[i].imag(), spec_ref[i].imag(), 1e-12 * scale) << n << "," << i;
+          }
+          for (std::size_t i = 0; i < n; ++i) ASSERT_NEAR(back[i], back_ref[i], 1e-12) << n;
+        }
+      }
+    }
+  }
+}
+
+// --- input-band-pruned transforms -------------------------------------------
+
+TEST(Fft1d, BandedMatchesDenseOnBandLimitedInput) {
+  // Bands straddling every case split: narrow (< n/4, dense fallback),
+  // the dealias band (~n/3), above 3n/8 (dense-middle blocks), and >= n/2
+  // (full fallback).
+  for (const std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    Rng rng(307 + n);
+    for (const std::size_t band :
+         {n / 8, n / 4, n / 3, 3 * n / 8 + 1, n / 2 - 1, n / 2}) {
+      std::vector<Cplx> x(n, Cplx(0.0, 0.0));
+      for (std::size_t j = 0; j < n; ++j)
+        if (j <= band || j + band >= n) x[j] = Cplx(rng.gaussian(), rng.gaussian());
+      Fft1D plan(n);
+      auto fwd_ref = x;
+      plan.forward(fwd_ref);
+      auto fwd = x;
+      plan.forward_banded(fwd, band);
+      auto inv_ref = x;
+      plan.inverse(inv_ref);
+      auto inv = x;
+      plan.inverse_banded(inv, band);
+      double scale = 0.0;
+      for (const auto& v : fwd_ref) scale = std::max(scale, std::abs(v));
+      ASSERT_GT(scale, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(fwd[i].real(), fwd_ref[i].real(), 1e-12 * scale)
+            << "n=" << n << " band=" << band << " i=" << i;
+        ASSERT_NEAR(fwd[i].imag(), fwd_ref[i].imag(), 1e-12 * scale)
+            << "n=" << n << " band=" << band << " i=" << i;
+        ASSERT_NEAR(inv[i].real(), inv_ref[i].real(), 1e-12 * scale / static_cast<double>(n))
+            << "n=" << n << " band=" << band << " i=" << i;
+        ASSERT_NEAR(inv[i].imag(), inv_ref[i].imag(), 1e-12 * scale / static_cast<double>(n))
+            << "n=" << n << " band=" << band << " i=" << i;
+      }
+    }
+  }
+}
+
+// --- batched pruned transforms ----------------------------------------------
+
+TEST(Fft2d, PrunedBatchMatchesSingleFieldBitwise) {
+  const std::size_t n = 32, kcut = n / 3, F = 5;
+  Rng rng(401);
+  std::vector<std::vector<double>> grids(F, std::vector<double>(n * n));
+  for (auto& g : grids) rng.fill_gaussian(g);
+
+  Fft2D ref_plan(n, n);
+  std::vector<std::vector<Cplx>> spec_ref(F, std::vector<Cplx>(ref_plan.half_size()));
+  std::vector<std::vector<double>> back_ref(F, std::vector<double>(n * n));
+  for (std::size_t f = 0; f < F; ++f) {
+    ref_plan.forward_half_pruned(grids[f], spec_ref[f], kcut);
+    ref_plan.inverse_half_pruned(spec_ref[f], back_ref[f], kcut);
+  }
+
+  for (const std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    Fft2D plan(n, n);
+    plan.set_max_threads(nt);
+    std::vector<std::vector<Cplx>> spec(F, std::vector<Cplx>(plan.half_size()));
+    std::vector<std::vector<double>> back(F, std::vector<double>(n * n));
+    std::vector<const double*> gp;
+    std::vector<Cplx*> sp;
+    std::vector<const Cplx*> scp;
+    std::vector<double*> bp;
+    for (std::size_t f = 0; f < F; ++f) {
+      gp.push_back(grids[f].data());
+      sp.push_back(spec[f].data());
+      scp.push_back(spec[f].data());
+      bp.push_back(back[f].data());
+    }
+    plan.forward_half_pruned_batch(gp, sp, kcut);
+    plan.inverse_half_pruned_batch(scp, bp, kcut);
+    for (std::size_t f = 0; f < F; ++f) {
+      EXPECT_EQ(0, std::memcmp(spec[f].data(), spec_ref[f].data(),
+                               spec[f].size() * sizeof(Cplx)))
+          << "field " << f << ", " << nt << " threads";
+      EXPECT_EQ(0,
+                std::memcmp(back[f].data(), back_ref[f].data(), back[f].size() * sizeof(double)))
+          << "field " << f << ", " << nt << " threads";
+    }
+  }
+}
+
+TEST(Fft2d, PrunedBatchRejectsMismatchedCounts) {
+  Fft2D plan(8, 8);
+  std::vector<double> g(64);
+  std::vector<Cplx> h(plan.half_size());
+  std::vector<const double*> gp{g.data()};
+  std::vector<Cplx*> sp{h.data(), h.data()};
+  EXPECT_THROW(plan.forward_half_pruned_batch(gp, sp, 2), Error);
+}
+
 TEST(Fft2d, HalfApiRejectsUnsupportedShapes) {
   // n1 == 1 has no even row length for the r2c stage.
   Fft2D p1(8, 1);

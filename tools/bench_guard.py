@@ -9,6 +9,12 @@ threshold. Purely advisory: always exits 0 — CI runners are noisy and the
 committed baseline comes from a different machine, so a warning is a prompt
 to look, not a gate.
 
+Rows whose thread count exceeds the hardware threads of *either* recording
+machine are skipped: a `threads: 2` timing captured on a 1-core box is
+oversubscription noise, not a baseline. Each row's hardware context comes
+from its own `hw_threads` field when present (bench_sqg_step records it per
+row), falling back to the file-level `hardware_threads`.
+
 Usage:
   tools/bench_guard.py --baseline BENCH_sqg.json --fresh fresh.json \
       [--metric rk4_step_ms] [--threshold 0.25]
@@ -22,10 +28,22 @@ import sys
 def load_results(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
+    file_hw = data.get("hardware_threads")
     out = {}
     for r in data.get("results", []):
+        r = dict(r)
+        if "hw_threads" not in r and file_hw is not None:
+            r["hw_threads"] = file_hw
         out[(r.get("n"), r.get("threads"))] = r
     return out
+
+
+def oversubscribed(row):
+    """True when the row's thread count exceeds its recording machine's
+    hardware threads (unknown hardware context is trusted)."""
+    hw = row.get("hw_threads")
+    threads = row.get("threads")
+    return hw is not None and threads is not None and threads > hw
 
 
 def main():
@@ -45,10 +63,14 @@ def main():
         return 0
 
     rows = []
+    skipped = []
     warnings = 0
     for key, fr in sorted(fresh.items()):
         base = baseline.get(key)
         if base is None or args.metric not in base or args.metric not in fr:
+            continue
+        if oversubscribed(base) or oversubscribed(fr):
+            skipped.append(key)
             continue
         b, f = float(base[args.metric]), float(fr[args.metric])
         if b <= 0.0:
@@ -62,7 +84,7 @@ def main():
                   f"{100 * ratio:+.1f}% vs committed baseline "
                   f"({b:.3f} ms -> {f:.3f} ms, threshold +{100 * args.threshold:.0f}%)")
 
-    if not rows:
+    if not rows and not skipped:
         print(f"bench_guard: no overlapping (n, threads) configurations with metric "
               f"'{args.metric}' between {args.baseline} and {args.fresh}")
         return 0
@@ -74,6 +96,10 @@ def main():
     for (n, t), b, f, ratio, flag in rows:
         mark = ":warning:" if flag else "ok"
         print(f"| {n} | {t} | {b:.3f} | {f:.3f} | {100 * ratio:+.1f}% | {mark} |")
+    if skipped:
+        configs = ", ".join(f"(n={n}, threads={t})" for n, t in skipped)
+        print(f"\nSkipped {len(skipped)} oversubscribed configuration(s) — thread count "
+              f"exceeds the recording machine's hardware threads: {configs}.")
     if warnings:
         print(f"\n{warnings} configuration(s) above threshold — advisory only; "
               "compare against the committed baseline's machine before acting.")
