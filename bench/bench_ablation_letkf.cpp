@@ -7,7 +7,9 @@
 // result must stay bitwise identical to the single-threaded one.
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -16,16 +18,28 @@
 #include "io/args.hpp"
 #include "io/table.hpp"
 #include "rng/rng.hpp"
+#include "simd/dispatch.hpp"
 
 using namespace turbda;
 
 namespace {
 
+/// One thread-scaling measurement, kept for the machine-readable output.
+struct ScaleRow {
+  std::size_t n = 0, threads = 0, members = 0;
+  double analysis_ms = 0.0;  ///< best-of-reps wall time of one analyze()
+  da::LetkfTimings ph;       ///< phase breakdown of the best rep
+  double plan_ms = 0.0;      ///< one-time local-obs plan build (prepare())
+  bool bitwise = false;
+};
+
 /// Times `reps` LETKF analyses of a synthetic ensemble at each thread count
 /// and verifies bitwise agreement with the single-threaded analysis.
 /// Returns false when any thread count produced a bitwise mismatch, so CI
-/// can fail on a determinism regression.
-[[nodiscard]] bool thread_scaling(std::size_t n, std::size_t members, int reps) {
+/// can fail on a determinism regression. Appends one ScaleRow per thread
+/// count to `rows`.
+[[nodiscard]] bool thread_scaling(std::size_t n, std::size_t members, int reps,
+                                  std::vector<ScaleRow>& rows) {
   reps = std::max(1, reps);
   da::LetkfConfig lc;
   lc.nx = n;
@@ -58,14 +72,26 @@ namespace {
   da::Ensemble ref(members, dim);
   for (std::size_t nt : counts) {
     lc.n_threads = nt;
+    lc.collect_timings = true;
     da::LETKF letkf(lc);
+    // Build the cached local-obs plan up front (the streaming usage), so the
+    // timed analyses below all hit the cache; the build cost is reported as
+    // its own column.
+    letkf.prepare(h, r);
+    const double plan_ms = letkf.timings().plan_ms;
     double best = 1e300;
+    da::LetkfTimings best_ph;
     da::Ensemble work(members, dim);
     for (int rep = 0; rep < reps; ++rep) {
       work.data() = prior.data();
+      letkf.reset_timings();
       WallTimer timer;
       letkf.analyze(work, y, h, r);
-      best = std::min(best, timer.milliseconds());
+      const double ms = timer.milliseconds();
+      if (ms < best) {
+        best = ms;
+        best_ph = letkf.timings();
+      }
     }
     if (nt == 1) {
       t1 = best;
@@ -76,10 +102,50 @@ namespace {
     all_same = all_same && same;
     t.add_row({std::to_string(nt), io::Table::num(best, 2), io::Table::num(t1 / best, 2),
                same ? "yes" : "NO"});
+    rows.push_back({n, nt, members, best, best_ph, plan_ms, same});
   }
   t.print();
+
+  std::cout << "\nPer-phase breakdown (ms per analysis, summed over workers; plan is a one-time\n"
+               "per-network cost, 'other' = wall - phases, only meaningful serially):\n";
+  io::Table pt({"threads", "plan", "select", "gather", "gram", "eigh", "weights", "combine",
+                "other", "groups/columns"});
+  for (const ScaleRow& r0 : rows) {
+    if (r0.n != n || r0.members != members) continue;
+    const da::LetkfTimings& ph = r0.ph;
+    const double phased = ph.select_ms + ph.gather_ms + ph.gram_ms + ph.eigh_ms + ph.weights_ms +
+                          ph.combine_ms;
+    pt.add_row({std::to_string(r0.threads), io::Table::num(r0.plan_ms, 1),
+                io::Table::num(ph.select_ms, 1), io::Table::num(ph.gather_ms, 1),
+                io::Table::num(ph.gram_ms, 1), io::Table::num(ph.eigh_ms, 1),
+                io::Table::num(ph.weights_ms, 1), io::Table::num(ph.combine_ms, 1),
+                r0.threads == 1 ? io::Table::num(r0.analysis_ms - phased, 1) : std::string("-"),
+                std::to_string(ph.groups) + "/" + std::to_string(ph.columns)});
+  }
+  pt.print();
   if (!all_same) std::cout << "ERROR: multi-threaded analysis diverged from 1 thread\n";
   return all_same;
+}
+
+void write_json(const std::string& path, const std::vector<ScaleRow>& rows, std::size_t hw) {
+  std::ofstream js(path);
+  const char* simd = simd::simd_level_name(simd::active_simd_level());
+  js << "{\n  \"bench\": \"ablation_letkf\",\n  \"hardware_threads\": " << hw
+     << ",\n  \"simd_level\": \"" << simd << "\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r0 = rows[i];
+    js << "    {\"n\": " << r0.n << ", \"threads\": " << r0.threads << ", \"hw_threads\": " << hw
+       << ", \"simd\": \"" << simd << "\", \"members\": " << r0.members
+       << ", \"analysis_ms\": " << r0.analysis_ms << ", \"plan_ms\": " << r0.plan_ms
+       << ", \"select_ms\": " << r0.ph.select_ms << ", \"gather_ms\": " << r0.ph.gather_ms
+       << ", \"gram_ms\": " << r0.ph.gram_ms << ", \"eigh_ms\": " << r0.ph.eigh_ms
+       << ", \"weights_ms\": " << r0.ph.weights_ms << ", \"combine_ms\": " << r0.ph.combine_ms
+       << ", \"groups\": " << r0.ph.groups << ", \"columns\": " << r0.ph.columns
+       << ", \"bitwise_vs_t1\": " << (r0.bitwise ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+  std::cout << "\nMachine-readable timings written to " << path << ".\n";
 }
 
 }  // namespace
@@ -95,6 +161,7 @@ int main(int argc, char** argv) {
                  "  --reps=<int>     timing repetitions per thread count (default 3)\n"
                  "  --threads=<int>  LETKF worker threads for the ablation runs;\n"
                  "                   0 = all hardware threads (default 0)\n"
+                 "  --json=<path>    machine-readable output (default BENCH_letkf.json)\n"
                  "  --no-ablations   run only the thread-scaling section\n";
     return 0;
   }
@@ -102,9 +169,12 @@ int main(int argc, char** argv) {
   cfg.n = static_cast<std::size_t>(args.get_int("n", 32));
   cfg.cycles = static_cast<int>(args.get_int("cycles", 25));
 
+  std::vector<ScaleRow> rows;
   const bool deterministic = thread_scaling(static_cast<std::size_t>(args.get_int("scale-n", 48)),
                                             static_cast<std::size_t>(args.get_int("members", 20)),
-                                            static_cast<int>(args.get_int("reps", 3)));
+                                            static_cast<int>(args.get_int("reps", 3)), rows);
+  write_json(args.get_str("json", "BENCH_letkf.json"), rows,
+             std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   if (args.flag("no-ablations")) return deterministic ? 0 : 1;
 
   std::cout << "\n=== LETKF ablations (SQG " << cfg.n << "^2 OSSE, " << cfg.cycles

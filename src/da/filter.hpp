@@ -13,6 +13,18 @@ class Filter {
  public:
   virtual ~Filter() = default;
 
+  /// Optional pre-computation hook for a known observation network: filters
+  /// that cache network-dependent state (e.g. LETKF's local-observation
+  /// plan) build it here instead of inside the first analyze() call.
+  /// Callers may skip it entirely and may pass a different network to
+  /// analyze() afterwards — implementations must validate and rebuild, so
+  /// prepare() is purely a scheduling hint (e.g. before a streaming run's
+  /// deadline clock starts). Default: no-op.
+  virtual void prepare(const ObservationOperator& h, const DiagonalR& r) {
+    (void)h;
+    (void)r;
+  }
+
   /// Transforms the forecast (prior) ensemble into the analysis (posterior)
   /// ensemble given observations y with error model R.
   virtual void analyze(Ensemble& ensemble, std::span<const double> y,

@@ -1,12 +1,19 @@
 #include "da/letkf.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 #include "da/localization.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dense_kernels.hpp"
 #include "tensor/linalg.hpp"
 
 namespace turbda::da {
@@ -19,6 +26,8 @@ LETKF::LETKF(LetkfConfig cfg) : cfg_(cfg) {
   TURBDA_REQUIRE(cfg_.rtps >= 0.0 && cfg_.rtps < 1.0, "RTPS factor must be in [0,1)");
   TURBDA_REQUIRE(cfg_.mult_inflation >= 1.0, "multiplicative inflation must be >= 1");
 }
+
+LETKF::~LETKF() = default;
 
 namespace {
 
@@ -55,6 +64,269 @@ Neighborhood build_neighborhood(const LetkfConfig& cfg) {
 
 }  // namespace
 
+/// Cached local-observation plan for one observation network on one grid.
+///
+/// Everything the per-column observation selection used to recompute every
+/// cycle is hoisted here and keyed on the network (locations + R variances):
+/// the Gaspari–Cohn weights collapse to a translation-invariant template
+/// per (analysis level, cell offset, obs level) — all hypot/GC evaluations
+/// happen once per network, not once per column per cycle — and columns
+/// whose resolved local problem (obs indices + weights) is identical are
+/// grouped to share one eigensolve. When the resolved per-column (obs, w)
+/// lists fit the configured budget they are materialized outright, removing
+/// even the template walk from the analysis hot path.
+struct LETKF::Plan {
+  /// One non-negligible template entry: cell offset (di, dj), observation
+  /// level (as a flat cell-index base), localization weight.
+  struct TemplEntry {
+    std::int32_t di, dj;
+    std::size_t olev_base;
+    double rho;
+  };
+
+  std::size_t nx = 0, ny = 0, nlev = 0;
+
+  // Network signature for invalidation.
+  std::vector<ObsLocation> locs;
+  std::vector<double> rvar;
+
+  std::vector<std::vector<TemplEntry>> tmpl;  ///< per analysis level
+  std::vector<std::int32_t> wrapx, wrapy;     ///< periodic index wrap, offset by nx/ny
+  std::vector<std::int32_t> cell_obs;         ///< cell -> obs index, -1 unobserved
+  std::vector<double> inv_rvar;               ///< 1 / R diagonal
+
+  // Column grouping: columns of group gr are group_cols[group_off[gr] ..
+  // group_off[gr+1]), first entry is the representative. Groups are ordered
+  // by their representative's column index; ungrouped configs get
+  // singletons.
+  std::vector<std::uint32_t> group_off, group_cols;
+
+  // Materialized per-representative selections (empty ranges otherwise).
+  bool materialized = false;
+  std::vector<std::uint64_t> col_off;  ///< d + 1 prefix offsets
+  std::vector<std::int32_t> sel_idx;
+  std::vector<double> sel_w;
+
+  [[nodiscard]] std::size_t n_groups() const { return group_off.size() - 1; }
+
+  /// Visits this column's local observations in the fixed deterministic
+  /// order (neighborhood entry outer, obs level inner): f(obs_index,
+  /// localization_weight / r_variance).
+  template <class F>
+  void for_each(std::size_t g, F&& f) const {
+    const std::size_t area = nx * ny;
+    const std::size_t lev = g / area;
+    const std::size_t rem = g % area;
+    const auto gi = static_cast<std::int32_t>(rem % nx);
+    const auto gj = static_cast<std::int32_t>(rem / nx);
+    const auto nxi = static_cast<std::int32_t>(nx);
+    const auto nyi = static_cast<std::int32_t>(ny);
+    for (const TemplEntry& e : tmpl[lev]) {
+      const std::int32_t oi = wrapx[static_cast<std::size_t>(gi + e.di + nxi)];
+      const std::int32_t oj = wrapy[static_cast<std::size_t>(gj + e.dj + nyi)];
+      const std::size_t cell =
+          e.olev_base + static_cast<std::size_t>(oj) * nx + static_cast<std::size_t>(oi);
+      const std::int32_t oidx = cell_obs[cell];
+      if (oidx < 0) continue;
+      f(oidx, e.rho * inv_rvar[static_cast<std::size_t>(oidx)]);
+    }
+  }
+
+  [[nodiscard]] bool matches(const std::vector<ObsLocation>& l,
+                             const std::vector<double>& rv) const {
+    if (l.size() != locs.size() || rv.size() != rvar.size()) return false;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+      if (l[i].ix != locs[i].ix || l[i].iy != locs[i].iy || l[i].level != locs[i].level)
+        return false;
+    }
+    return rv == rvar;
+  }
+
+  static std::unique_ptr<Plan> build(const LetkfConfig& cfg, std::vector<ObsLocation> locs_in,
+                                     std::vector<double> rvar_in);
+};
+
+std::unique_ptr<LETKF::Plan> LETKF::Plan::build(const LetkfConfig& cfg,
+                                                std::vector<ObsLocation> locs_in,
+                                                std::vector<double> rvar_in) {
+  auto plan = std::make_unique<Plan>();
+  Plan& pl = *plan;
+  pl.nx = cfg.nx;
+  pl.ny = cfg.ny;
+  pl.nlev = cfg.n_levels;
+  pl.locs = std::move(locs_in);
+  pl.rvar = std::move(rvar_in);
+  const std::size_t area = cfg.nx * cfg.ny;
+  const std::size_t d = area * cfg.n_levels;
+  const std::size_t p = pl.locs.size();
+
+  // Cell -> observation map (validates locations against the grid).
+  pl.cell_obs.assign(d, -1);
+  for (std::size_t o = 0; o < p; ++o) {
+    const auto& L = pl.locs[o];
+    TURBDA_REQUIRE(L.ix >= 0 && L.ix < static_cast<int>(cfg.nx) && L.iy >= 0 &&
+                       L.iy < static_cast<int>(cfg.ny) && L.level >= 0 &&
+                       L.level < static_cast<int>(cfg.n_levels),
+                   "LETKF: observation location outside grid");
+    const std::size_t cell =
+        (static_cast<std::size_t>(L.level) * cfg.ny + static_cast<std::size_t>(L.iy)) * cfg.nx +
+        static_cast<std::size_t>(L.ix);
+    pl.cell_obs[cell] = static_cast<std::int32_t>(o);
+  }
+  pl.inv_rvar.resize(p);
+  for (std::size_t o = 0; o < p; ++o) pl.inv_rvar[o] = 1.0 / pl.rvar[o];
+
+  // Periodic wrap lookup tables: index (g + off + n) for off in the
+  // neighborhood range always lands in [1, 3n).
+  pl.wrapx.resize(3 * cfg.nx);
+  for (std::size_t i = 0; i < pl.wrapx.size(); ++i)
+    pl.wrapx[i] = static_cast<std::int32_t>(i % cfg.nx);
+  pl.wrapy.resize(3 * cfg.ny);
+  for (std::size_t i = 0; i < pl.wrapy.size(); ++i)
+    pl.wrapy[i] = static_cast<std::int32_t>(i % cfg.ny);
+
+  // Translation-invariant weight template: every hypot/Gaspari–Cohn
+  // evaluation the per-column walk used to perform happens exactly once
+  // here; entries below min_weight are dropped at the source.
+  const Neighborhood nb = build_neighborhood(cfg);
+  const double gc_halfwidth = 0.5 * cfg.cutoff_m;
+  pl.tmpl.resize(cfg.n_levels);
+  for (std::size_t lev = 0; lev < cfg.n_levels; ++lev) {
+    auto& entries = pl.tmpl[lev];
+    for (std::size_t t = 0; t < nb.di.size(); ++t) {
+      for (std::size_t olev = 0; olev < cfg.n_levels; ++olev) {
+        // Rossby-coupled 3-D distance: vertical separation enters as an
+        // equivalent horizontal distance of (levels apart) * L_R.
+        const double dlev = static_cast<double>(olev) - static_cast<double>(lev);
+        const double deff = std::hypot(nb.dist[t], dlev * cfg.rossby_radius_m);
+        const double rho = gaspari_cohn(deff, gc_halfwidth);
+        if (rho < cfg.min_weight) continue;
+        entries.push_back(TemplEntry{static_cast<std::int32_t>(nb.di[t]),
+                                     static_cast<std::int32_t>(nb.dj[t]), olev * area, rho});
+      }
+    }
+  }
+
+  // Resolve every column's local problem to a (count, hash) pair; the hash
+  // feeds grouping, the counts feed the materialization budget.
+  std::vector<std::uint64_t> hashes(d);
+  std::vector<std::uint32_t> pls(d);
+  parallel::parallel_for(
+      d,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t g = b; g < e; ++g) {
+          std::uint64_t hh = 14695981039346656037ull;  // FNV-1a offset basis
+          std::uint32_t cnt = 0;
+          pl.for_each(g, [&](std::int32_t o, double wv) {
+            hh ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(o));
+            hh *= 1099511628211ull;
+            hh ^= std::bit_cast<std::uint64_t>(wv);
+            hh *= 1099511628211ull;
+            ++cnt;
+          });
+          hashes[g] = hh;
+          pls[g] = cnt;
+        }
+      },
+      cfg.nx, cfg.n_threads);
+
+  // Group columns with identical resolved local problems. Hash buckets are
+  // verified by exact (obs, weight) comparison, so collisions can only cost
+  // time, never correctness. Serial over columns -> group order and
+  // membership are independent of thread count.
+  std::vector<std::vector<std::uint32_t>> groups;
+  if (cfg.group_columns) {
+    std::vector<std::uint32_t> rep_of;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash;
+    std::vector<std::int32_t> ia, ib;
+    std::vector<double> wa, wb;
+    const auto collect = [&](std::size_t g, std::vector<std::int32_t>& vi,
+                             std::vector<double>& vw) {
+      vi.clear();
+      vw.clear();
+      pl.for_each(g, [&](std::int32_t o, double wv) {
+        vi.push_back(o);
+        vw.push_back(wv);
+      });
+    };
+    for (std::size_t g = 0; g < d; ++g) {
+      bool joined = false;
+      auto& bucket = by_hash[hashes[g]];
+      for (const std::uint32_t gid : bucket) {
+        const std::uint32_t rep = rep_of[gid];
+        if (pls[rep] != pls[g]) continue;
+        collect(rep, ia, wa);
+        collect(g, ib, wb);
+        if (ia == ib &&
+            std::memcmp(wa.data(), wb.data(), wa.size() * sizeof(double)) == 0) {
+          groups[gid].push_back(static_cast<std::uint32_t>(g));
+          joined = true;
+          break;
+        }
+      }
+      if (!joined) {
+        bucket.push_back(static_cast<std::uint32_t>(groups.size()));
+        rep_of.push_back(static_cast<std::uint32_t>(g));
+        groups.push_back({static_cast<std::uint32_t>(g)});
+      }
+    }
+  } else {
+    groups.resize(d);
+    for (std::size_t g = 0; g < d; ++g) groups[g] = {static_cast<std::uint32_t>(g)};
+  }
+  pl.group_off.reserve(groups.size() + 1);
+  pl.group_off.push_back(0);
+  pl.group_cols.reserve(d);
+  for (const auto& grp : groups) {
+    pl.group_cols.insert(pl.group_cols.end(), grp.begin(), grp.end());
+    pl.group_off.push_back(static_cast<std::uint32_t>(pl.group_cols.size()));
+  }
+
+  // Materialize representatives' (obs, weight) lists when they fit the
+  // budget; otherwise analyses walk the template per group.
+  pl.col_off.assign(d + 1, 0);
+  for (const auto& grp : groups) pl.col_off[grp.front() + 1] = pls[grp.front()];
+  for (std::size_t g = 0; g < d; ++g) pl.col_off[g + 1] += pl.col_off[g];
+  const std::uint64_t total = pl.col_off[d];
+  const std::uint64_t bytes = total * (sizeof(std::int32_t) + sizeof(double));
+  if (bytes <= static_cast<std::uint64_t>(cfg.plan_budget_mb) * (1u << 20)) {
+    pl.materialized = true;
+    pl.sel_idx.resize(total);
+    pl.sel_w.resize(total);
+    parallel::parallel_for(
+        d,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t g = b; g < e; ++g) {
+            std::uint64_t at = pl.col_off[g];
+            if (pl.col_off[g + 1] == at) continue;
+            pl.for_each(g, [&](std::int32_t o, double wv) {
+              pl.sel_idx[at] = o;
+              pl.sel_w[at] = wv;
+              ++at;
+            });
+          }
+        },
+        cfg.nx, cfg.n_threads);
+  }
+  return plan;
+}
+
+const LETKF::Plan& LETKF::plan_for(const ObservationOperator& h, const DiagonalR& r) {
+  auto locs_opt = h.locations();
+  TURBDA_REQUIRE(locs_opt.has_value(), "LETKF requires gridded observation locations");
+  const std::size_t p = h.obs_dim();
+  TURBDA_REQUIRE(locs_opt->size() == p && r.dim() == p, "LETKF: obs metadata size mismatch");
+  std::vector<double> rvar(p);
+  for (std::size_t o = 0; o < p; ++o) rvar[o] = r.variance(o);
+  if (plan_ != nullptr && plan_->matches(*locs_opt, rvar)) return *plan_;
+  WallTimer t;
+  plan_ = Plan::build(cfg_, std::move(*locs_opt), std::move(rvar));
+  if (cfg_.collect_timings) timings_.plan_ms += t.milliseconds();
+  return *plan_;
+}
+
+void LETKF::prepare(const ObservationOperator& h, const DiagonalR& r) { (void)plan_for(h, r); }
+
 void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
                     const DiagonalR& r) {
   const std::size_t m = ens.size();
@@ -64,184 +336,208 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
                  "LETKF: state dim inconsistent with configured grid");
   TURBDA_REQUIRE(y.size() == p && r.dim() == p, "LETKF: obs dim mismatch");
 
-  const auto locs_opt = h.locations();
-  TURBDA_REQUIRE(locs_opt.has_value(), "LETKF requires gridded observation locations");
-  const auto& locs = *locs_opt;
+  const bool tm = cfg_.collect_timings;
+  WallTimer t_total;
+  const Plan& plan = plan_for(h, r);
+  const double infl = cfg_.mult_inflation;
 
-  // Prior statistics; optional multiplicative inflation of perturbations.
+  // Prior statistics.
   const auto xbar = ens.mean();
-  Tensor xb({m, d});  // perturbations
-  for (std::size_t k = 0; k < m; ++k) {
-    const auto row = ens.member(k);
-    for (std::size_t i = 0; i < d; ++i) xb(k, i) = (row[i] - xbar[i]) * cfg_.mult_inflation;
-  }
   const std::vector<double> prior_sd = ens.stddev();
 
-  // Obs-space ensemble Y = h(x_k), mean ybar and perturbations Yb (p x m as
-  // column-major access pattern: we store (m x p) row-major and index [k][o]).
-  Tensor yens({m, p});
+  // Column-major (d x m) prior perturbations: every per-column kernel below
+  // then reads/writes contiguous m-vectors. Transposes are elementwise, so
+  // they are bitwise independent of the chunking.
+  Tensor xbT({d, m});
+  parallel::parallel_for(
+      d,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t k = 0; k < m; ++k) {
+          const auto row = ens.member(k);
+          for (std::size_t g = b; g < e; ++g) xbT(g, k) = (row[g] - xbar[g]) * infl;
+        }
+      },
+      4096, cfg_.n_threads);
+
+  // Obs-space ensemble: mean, innovations, and column-major (p x m)
+  // perturbations Yb^T.
+  Tensor yensT({p, m});
+  std::vector<double> ybar(p, 0.0), innov(p);
   {
+    Tensor yens({m, p});
     std::vector<double> buf(p);
     for (std::size_t k = 0; k < m; ++k) {
       h.apply(ens.member(k), buf);
       std::copy(buf.begin(), buf.end(), yens.row(k).begin());
     }
-  }
-  std::vector<double> ybar(p, 0.0);
-  for (std::size_t k = 0; k < m; ++k) {
-    const auto row = yens.row(k);
-    for (std::size_t o = 0; o < p; ++o) ybar[o] += row[o];
-  }
-  for (double& v : ybar) v /= static_cast<double>(m);
-  for (std::size_t k = 0; k < m; ++k) {
-    auto row = yens.row(k);
-    for (std::size_t o = 0; o < p; ++o)
-      row[o] = (row[o] - ybar[o]) * cfg_.mult_inflation;  // now Yb
-  }
-  std::vector<double> innov(p);
-  for (std::size_t o = 0; o < p; ++o) innov[o] = y[o] - ybar[o];
-
-  // Map grid cells -> observation index (-1 when a cell is unobserved).
-  std::vector<int> cell_obs(d, -1);
-  for (std::size_t o = 0; o < p; ++o) {
-    const auto& L = locs[o];
-    TURBDA_REQUIRE(L.ix >= 0 && L.ix < static_cast<int>(cfg_.nx) && L.iy >= 0 &&
-                       L.iy < static_cast<int>(cfg_.ny) && L.level >= 0 &&
-                       L.level < static_cast<int>(cfg_.n_levels),
-                   "LETKF: observation location outside grid");
-    const std::size_t cell =
-        (static_cast<std::size_t>(L.level) * cfg_.ny + static_cast<std::size_t>(L.iy)) * cfg_.nx +
-        static_cast<std::size_t>(L.ix);
-    cell_obs[cell] = static_cast<int>(o);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto row = yens.row(k);
+      for (std::size_t o = 0; o < p; ++o) ybar[o] += row[o];
+    }
+    for (double& v : ybar) v /= static_cast<double>(m);
+    for (std::size_t o = 0; o < p; ++o) innov[o] = y[o] - ybar[o];
+    parallel::parallel_for(
+        p,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t o = b; o < e; ++o) {
+            double* dst = &yensT(o, 0);
+            for (std::size_t k = 0; k < m; ++k) dst[k] = (yens(k, o) - ybar[o]) * infl;
+          }
+        },
+        4096, cfg_.n_threads);
   }
 
-  const Neighborhood nb = build_neighborhood(cfg_);
-  const double gc_halfwidth = 0.5 * cfg_.cutoff_m;
+  // Output analysis, column-major like xbT.
+  Tensor xaT({d, m});
+  const double sqm1 = std::sqrt(static_cast<double>(m - 1));
+  const std::size_t n_groups = plan.n_groups();
+  std::mutex tm_mu;
 
-  // Output analysis ensemble, built column by column.
-  Tensor xa({m, d});
-
-  const auto nxi = static_cast<int>(cfg_.nx);
-  const auto nyi = static_cast<int>(cfg_.ny);
-
-  // Each grid column's local analysis reads shared prior statistics and
-  // writes only its own column of xa, so columns are partitioned across the
-  // pool; bitwise identical for any thread count. One chunk = one worker's
-  // contiguous range of flattened cell indices, with chunk-local scratch.
-  const auto analyze_columns = [&](std::size_t g_begin, std::size_t g_end) {
-    // Per-chunk scratch (reused across this chunk's columns).
-    std::vector<int> loc_obs;
-    std::vector<double> loc_rho_over_r, loc_innov;
-    Tensor cmat({m, 1});  // resized per point
+  // One chunk = one worker's contiguous range of groups, with chunk-local
+  // scratch. Each group solves its local problem once on the
+  // representative's observation selection and applies the resulting weight
+  // matrix to every member column; groups touch disjoint xaT rows, so the
+  // result is bitwise identical for any thread count.
+  const auto solve_groups = [&](std::size_t gr_begin, std::size_t gr_end) {
+    const auto& dk = simd::active_dense_kernels();
+    std::vector<std::int32_t> sel_idx_l;
+    std::vector<double> sel_w_l;
+    std::vector<double> yT, yTw, wi;
     Tensor amat({m, m}), vmat;
-    std::vector<double> evals, cd(m), wbar(m);
-    Tensor wmat({m, m});
+    std::vector<double> evals;
+    std::vector<double> cd(m), vtcd(m), wbar(m), wb(m), isq(m), acc(m);
+    std::vector<double> vT(m * m), usT(m * m), wmat(m * m);
+    LetkfTimings pt;
+    WallTimer ph;
 
-    for (std::size_t g = g_begin; g < g_end; ++g) {
-      {
-        const std::size_t lev = g / (cfg_.nx * cfg_.ny);
-        const std::size_t rem = g % (cfg_.nx * cfg_.ny);
-        const auto gj = static_cast<int>(rem / cfg_.nx);
-        const auto gi = static_cast<int>(rem % cfg_.nx);
+    for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
+      const std::uint32_t* cols = plan.group_cols.data() + plan.group_off[gr];
+      const std::size_t ncols = plan.group_off[gr + 1] - plan.group_off[gr];
+      const std::size_t rep = cols[0];
 
-        // Gather local observations with localization weights.
-        loc_obs.clear();
-        loc_rho_over_r.clear();
-        loc_innov.clear();
-        for (std::size_t t = 0; t < nb.di.size(); ++t) {
-          const int oi = (gi + nb.di[t] + nxi) % nxi;
-          const int oj = (gj + nb.dj[t] + nyi) % nyi;
-          for (std::size_t olev = 0; olev < cfg_.n_levels; ++olev) {
-            const std::size_t cell =
-                (olev * cfg_.ny + static_cast<std::size_t>(oj)) * cfg_.nx +
-                static_cast<std::size_t>(oi);
-            const int oidx = cell_obs[cell];
-            if (oidx < 0) continue;
-            // Rossby-coupled 3-D distance: vertical separation enters as an
-            // equivalent horizontal distance of (levels apart) * L_R.
-            const double dlev = static_cast<double>(olev) - static_cast<double>(lev);
-            const double deff = std::hypot(nb.dist[t], dlev * cfg_.rossby_radius_m);
-            const double rho = gaspari_cohn(deff, gc_halfwidth);
-            if (rho < cfg_.min_weight) continue;
-            loc_obs.push_back(oidx);
-            loc_rho_over_r.push_back(rho / r.variance(static_cast<std::size_t>(oidx)));
-            loc_innov.push_back(innov[static_cast<std::size_t>(oidx)]);
-          }
-        }
-
-        const std::size_t pl = loc_obs.size();
-        if (pl == 0) {  // no usable obs: analysis = forecast
-          for (std::size_t k = 0; k < m; ++k) xa(k, g) = xbar[g] + xb(k, g);
-          continue;
-        }
-
-        // C = Yb^T Rloc^{-1}: cmat(k, o) = Yb(k, o) * rho_o / r_o.
-        cmat.reset({m, pl});
-        for (std::size_t k = 0; k < m; ++k) {
-          const auto yrow = yens.row(k);
-          auto crow = cmat.row(k);
-          for (std::size_t o = 0; o < pl; ++o)
-            crow[o] = yrow[static_cast<std::size_t>(loc_obs[o])] * loc_rho_over_r[o];
-        }
-
-        // A = (m-1) I + C Yb  (symmetric m x m).
-        for (std::size_t a = 0; a < m; ++a) {
-          for (std::size_t b = a; b < m; ++b) {
-            double s = 0.0;
-            const auto ca = cmat.row(a);
-            const auto yb = yens.row(b);
-            for (std::size_t o = 0; o < pl; ++o)
-              s += ca[o] * yb[static_cast<std::size_t>(loc_obs[o])];
-            amat(a, b) = s + ((a == b) ? static_cast<double>(m - 1) : 0.0);
-            amat(b, a) = amat(a, b);
-          }
-        }
-
-        tensor::jacobi_eigh(amat, vmat, evals);
-
-        // cd = C * innov_local.
-        for (std::size_t k = 0; k < m; ++k) {
-          double s = 0.0;
-          const auto crow = cmat.row(k);
-          for (std::size_t o = 0; o < pl; ++o) s += crow[o] * loc_innov[o];
-          cd[k] = s;
-        }
-        // wbar = V diag(1/lambda) V^T cd;  W = sqrt(m-1) V diag(1/sqrt(l)) V^T.
-        for (std::size_t a = 0; a < m; ++a) {
-          double s = 0.0;
-          for (std::size_t k = 0; k < m; ++k) s += vmat(k, a) * cd[k];
-          wbar[a] = s / evals[a];  // diag(1/lambda) V^T cd
-        }
-        const double sqm1 = std::sqrt(static_cast<double>(m - 1));
-        // wmat(k, i) = wbar_k + W_{k,i}: the full weight matrix whose column
-        // i produces analysis member i.
-        for (std::size_t k = 0; k < m; ++k) {
-          double wb = 0.0;
-          for (std::size_t a = 0; a < m; ++a) wb += vmat(k, a) * wbar[a];
-          for (std::size_t i = 0; i < m; ++i) {
-            double wki = 0.0;
-            for (std::size_t a = 0; a < m; ++a)
-              wki += vmat(k, a) * vmat(i, a) / std::sqrt(evals[a]);
-            wmat(k, i) = wb + sqm1 * wki;
-          }
-        }
-
-        // Analysis at this grid variable for every member:
-        //   xa_i(g) = xbar(g) + sum_k Xb(k,g) (wbar_k + W_{k,i}).
-        for (std::size_t i = 0; i < m; ++i) {
-          double wsum = 0.0;
-          for (std::size_t k = 0; k < m; ++k) wsum += xb(k, g) * wmat(k, i);
-          xa(i, g) = xbar[g] + wsum;
-        }
+      // Local observation selection: materialized list or template walk.
+      if (tm) ph.reset();
+      const std::int32_t* sidx;
+      const double* sw;
+      std::size_t pl;
+      if (plan.materialized) {
+        sidx = plan.sel_idx.data() + plan.col_off[rep];
+        sw = plan.sel_w.data() + plan.col_off[rep];
+        pl = static_cast<std::size_t>(plan.col_off[rep + 1] - plan.col_off[rep]);
+      } else {
+        sel_idx_l.clear();
+        sel_w_l.clear();
+        plan.for_each(rep, [&](std::int32_t o, double wv) {
+          sel_idx_l.push_back(o);
+          sel_w_l.push_back(wv);
+        });
+        sidx = sel_idx_l.data();
+        sw = sel_w_l.data();
+        pl = sel_idx_l.size();
       }
+      if (tm) pt.select_ms += ph.milliseconds();
+
+      if (pl == 0) {  // no usable obs: analysis = forecast
+        if (tm) ph.reset();
+        for (std::size_t ci = 0; ci < ncols; ++ci) {
+          const std::size_t g = cols[ci];
+          dk.scale_shift(&xaT(g, 0), &xbT(g, 0), m, 1.0, xbar[g]);
+        }
+        if (tm) pt.combine_ms += ph.milliseconds();
+        continue;
+      }
+
+      // Gather local Yb^T rows (contiguous m-vectors), the R-localized
+      // copies, and the weighted innovations.
+      if (tm) ph.reset();
+      yT.resize(pl * m);
+      yTw.resize(pl * m);
+      wi.resize(pl);
+      for (std::size_t o = 0; o < pl; ++o) {
+        const auto oidx = static_cast<std::size_t>(sidx[o]);
+        std::memcpy(&yT[o * m], &yensT(oidx, 0), m * sizeof(double));
+        dk.scale(&yTw[o * m], &yT[o * m], m, sw[o]);
+        wi[o] = sw[o] * innov[oidx];
+      }
+      if (tm) pt.gather_ms += ph.milliseconds();
+
+      // A = (m-1) I + Yb^T Rloc^{-1} Yb, upper triangle row by row.
+      if (tm) ph.reset();
+      for (std::size_t a = 0; a < m; ++a) {
+        std::fill_n(&amat(a, a), m - a, 0.0);
+        dk.accum_rows(&amat(a, a), yTw.data() + a, m, yT.data() + a, m, pl, m - a);
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        amat(a, a) += static_cast<double>(m - 1);
+        for (std::size_t b = a + 1; b < m; ++b) amat(b, a) = amat(a, b);
+      }
+      if (tm) pt.gram_ms += ph.milliseconds();
+
+      if (tm) ph.reset();
+      tensor::jacobi_eigh(amat, vmat, evals);
+      if (tm) pt.eigh_ms += ph.milliseconds();
+
+      // Ensemble-space weights: wbar = V diag(1/l) V^T C innov and
+      // wmat(k, i) = (V wbar)_k + sqrt(m-1) sum_a V(k,a) V(i,a) / sqrt(l_a).
+      if (tm) ph.reset();
+      std::fill(cd.begin(), cd.end(), 0.0);
+      dk.accum_rows(cd.data(), wi.data(), 1, yT.data(), m, pl, m);
+      std::fill(vtcd.begin(), vtcd.end(), 0.0);
+      dk.accum_rows(vtcd.data(), cd.data(), 1, vmat.data(), m, m, m);
+      for (std::size_t a = 0; a < m; ++a) {
+        wbar[a] = vtcd[a] / evals[a];
+        isq[a] = 1.0 / std::sqrt(evals[a]);
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        double* dst = &vT[a * m];
+        for (std::size_t i = 0; i < m; ++i) dst[i] = vmat(i, a);
+      }
+      std::fill(wb.begin(), wb.end(), 0.0);
+      dk.accum_rows(wb.data(), wbar.data(), 1, vT.data(), m, m, m);
+      for (std::size_t a = 0; a < m; ++a) dk.scale(&usT[a * m], &vT[a * m], m, isq[a]);
+      for (std::size_t k = 0; k < m; ++k) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        dk.accum_rows(acc.data(), &vmat(k, 0), 1, usT.data(), m, m, m);
+        dk.scale_shift(&wmat[k * m], acc.data(), m, sqm1, wb[k]);
+      }
+      if (tm) pt.weights_ms += ph.milliseconds();
+
+      // Posterior combine for every member column of the group:
+      // xa(:, g) = xbar[g] + wmat^T Xb(:, g).
+      if (tm) ph.reset();
+      for (std::size_t ci = 0; ci < ncols; ++ci) {
+        const std::size_t g = cols[ci];
+        std::fill(acc.begin(), acc.end(), 0.0);
+        dk.accum_rows(acc.data(), &xbT(g, 0), 1, wmat.data(), m, m, m);
+        dk.scale_shift(&xaT(g, 0), acc.data(), m, 1.0, xbar[g]);
+      }
+      if (tm) pt.combine_ms += ph.milliseconds();
+    }
+
+    if (tm) {
+      const std::lock_guard<std::mutex> lock(tm_mu);
+      timings_.select_ms += pt.select_ms;
+      timings_.gather_ms += pt.gather_ms;
+      timings_.gram_ms += pt.gram_ms;
+      timings_.eigh_ms += pt.eigh_ms;
+      timings_.weights_ms += pt.weights_ms;
+      timings_.combine_ms += pt.combine_ms;
     }
   };
 
-  // Grain of one grid row keeps chunk count reasonable on small grids while
-  // leaving plenty of chunks for large ones.
-  parallel::parallel_for(d, analyze_columns, cfg_.nx, cfg_.n_threads);
+  parallel::parallel_for(n_groups, solve_groups, std::max<std::size_t>(1, cfg_.nx / 2),
+                         cfg_.n_threads);
 
-  ens.data() = std::move(xa);
+  // Write the analysis back member-major.
+  parallel::parallel_for(
+      d,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t k = 0; k < m; ++k) {
+          auto row = ens.member(k);
+          for (std::size_t g = b; g < e; ++g) row[g] = xaT(g, k);
+        }
+      },
+      4096, cfg_.n_threads);
 
   // RTPS inflation: relax analysis spread toward the prior spread.
   if (cfg_.rtps > 0.0) {
@@ -255,6 +551,13 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
         row[i] = mu[i] + (row[i] - mu[i]) * scale;
       }
     }
+  }
+
+  if (tm) {
+    timings_.total_ms += t_total.milliseconds();
+    timings_.analyses += 1;
+    timings_.columns += d;
+    timings_.groups += n_groups;
   }
 }
 

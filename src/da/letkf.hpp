@@ -19,6 +19,8 @@
 // and relaxation-to-prior-spread (RTPS) inflation (Whitaker & Hamill 2012).
 #pragma once
 
+#include <memory>
+
 #include "da/filter.hpp"
 
 namespace turbda::da {
@@ -41,11 +43,52 @@ struct LetkfConfig {
   /// threads via the process-wide pool, 1 = serial). Column analyses are
   /// independent, so the result is bitwise identical for any value.
   std::size_t n_threads = 0;
+
+  /// Share one eigensolve between grid columns whose local observation set
+  /// and localization weights are identical (computed once per network in
+  /// the cached plan). Grouping never changes the result — equal inputs take
+  /// the identical instruction sequence — so this is a pure optimization
+  /// knob, kept switchable for the bitwise grouped-vs-ungrouped tests.
+  bool group_columns = true;
+
+  /// Budget (MiB) for materializing per-column local observation lists in
+  /// the cached plan. Sparse networks fit and skip the per-cycle
+  /// neighborhood walk entirely; dense networks fall back to walking the
+  /// translation-invariant weight template per group representative.
+  std::size_t plan_budget_mb = 64;
+
+  /// Accumulate per-phase wall times into timings() (bench support; off by
+  /// default — the clock calls are pure overhead in production runs).
+  bool collect_timings = false;
+};
+
+/// Cumulative per-phase wall-clock breakdown of analyze() (see
+/// LetkfConfig::collect_timings). Milliseconds, summed over calls.
+struct LetkfTimings {
+  double plan_ms = 0.0;     ///< local-obs plan (re)builds
+  double select_ms = 0.0;   ///< per-group local obs selection walks
+  double gather_ms = 0.0;   ///< local Yb / weighted-Yb gathers
+  double gram_ms = 0.0;     ///< A = (m-1)I + C Yb builds
+  double eigh_ms = 0.0;     ///< symmetric eigensolves
+  double weights_ms = 0.0;  ///< wbar / weight-matrix algebra
+  double combine_ms = 0.0;  ///< posterior combine into state columns
+  double total_ms = 0.0;    ///< whole analyze() calls (incl. transposes, RTPS)
+  std::size_t analyses = 0;
+  std::size_t columns = 0;  ///< column analyses requested
+  std::size_t groups = 0;   ///< unique local problems actually solved
 };
 
 class LETKF final : public Filter {
  public:
   explicit LETKF(LetkfConfig cfg);
+  ~LETKF() override;
+
+  /// Builds (or refreshes) the cached local-observation plan for this
+  /// network, so the first analyze() of a streaming run pays no plan cost.
+  /// analyze() validates the plan against its own (h, r) arguments and
+  /// rebuilds on mismatch, so calling prepare() is never required for
+  /// correctness and never changes results.
+  void prepare(const ObservationOperator& h, const DiagonalR& r) override;
 
   void analyze(Ensemble& ensemble, std::span<const double> y, const ObservationOperator& h,
                const DiagonalR& r) override;
@@ -54,8 +97,22 @@ class LETKF final : public Filter {
 
   [[nodiscard]] const LetkfConfig& config() const { return cfg_; }
 
+  /// Cumulative phase timings (populated when cfg.collect_timings).
+  [[nodiscard]] const LetkfTimings& timings() const { return timings_; }
+  void reset_timings() { timings_ = LetkfTimings{}; }
+
+  /// True when a cached plan for some network is currently held (tests).
+  [[nodiscard]] bool has_plan() const { return plan_ != nullptr; }
+
  private:
+  struct Plan;
+
+  /// Returns the cached plan if it matches (h, r), else builds a fresh one.
+  const Plan& plan_for(const ObservationOperator& h, const DiagonalR& r);
+
   LetkfConfig cfg_;
+  std::unique_ptr<Plan> plan_;
+  LetkfTimings timings_;
 };
 
 }  // namespace turbda::da

@@ -1,178 +1,24 @@
-// Scalar FFT kernels + runtime dispatch. This translation unit is compiled
-// with -ffp-contract=off unconditionally (see CMakeLists.txt): the scalar
-// path is the bitwise reference for the Avx2 level, so it must not grow FMA
-// contractions under TURBDA_NATIVE builds.
+// Scalar FFT kernel table: the generic Vec kernels instantiated with the
+// emulated VecScalar backend. This translation unit is compiled with
+// -ffp-contract=off and auto-vectorization off unconditionally (see
+// CMakeLists.txt): the scalar path is the bitwise reference for the Avx2
+// level, so it must not grow FMA contractions under TURBDA_NATIVE builds.
 #include "fft/simd_kernels.hpp"
 
-#include <atomic>
-#include <cstdlib>
-#include <cstring>
-
 #include "common/check.hpp"
+#include "fft/simd_kernels_impl.hpp"
+#include "simd/vec.hpp"
 
 namespace turbda::fft {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Scalar kernels — the exact arithmetic the pre-SIMD Fft1D/Rfft1D inlined.
-// ---------------------------------------------------------------------------
+using simd::VecScalar;
 
-void pass_first_scalar(double* d, std::size_t n2, double isign) {
-  for (std::size_t base = 0; base < n2; base += 8) {
-    double* p = d + base;
-    const double a0r = p[0] + p[2], a0i = p[1] + p[3];  // stage len 2
-    const double a1r = p[0] - p[2], a1i = p[1] - p[3];
-    const double a2r = p[4] + p[6], a2i = p[5] + p[7];
-    const double a3r = p[4] - p[6], a3i = p[5] - p[7];
-    const double b3r = -isign * a3i, b3i = isign * a3r;  // (-+i) * a3
-    p[0] = a0r + a2r;  // stage len 4
-    p[1] = a0i + a2i;
-    p[4] = a0r - a2r;
-    p[5] = a0i - a2i;
-    p[2] = a1r + b3r;
-    p[3] = a1i + b3i;
-    p[6] = a1r - b3r;
-    p[7] = a1i - b3i;
-  }
-}
-
-void pass_radix4_scalar(double* d, std::size_t n, std::size_t half, const double* tw,
-                        const double* tw1) {
-  const std::size_t len4 = 4 * half;
-  for (std::size_t base = 0; base < n; base += len4) {
-    double* p0 = d + 2 * base;
-    double* p1 = p0 + 2 * half;
-    double* p2 = p1 + 2 * half;
-    double* p3 = p2 + 2 * half;
-    for (std::size_t k = 0; k < half; ++k) {
-      const double wr = tw[2 * k], wi = tw[2 * k + 1];
-      const double ar = p0[2 * k], ai = p0[2 * k + 1];
-      const double br = p1[2 * k], bi = p1[2 * k + 1];
-      const double cr = p2[2 * k], ci = p2[2 * k + 1];
-      const double dr = p3[2 * k], di = p3[2 * k + 1];
-      // Stage s: (a, b) and (c, d), both with twiddle w.
-      const double tbr = wr * br - wi * bi, tbi = wr * bi + wi * br;
-      const double tdr = wr * dr - wi * di, tdi = wr * di + wi * dr;
-      const double uar = ar + tbr, uai = ai + tbi;
-      const double ubr = ar - tbr, ubi = ai - tbi;
-      const double ucr = cr + tdr, uci = ci + tdi;
-      const double udr = cr - tdr, udi = ci - tdi;
-      // Stage s+1: (a, c) with tw1[k], (b, d) with tw1[k + half].
-      const double v0r = tw1[2 * k], v0i = tw1[2 * k + 1];
-      const double v1r = tw1[2 * (k + half)], v1i = tw1[2 * (k + half) + 1];
-      const double tcr = v0r * ucr - v0i * uci, tci = v0r * uci + v0i * ucr;
-      const double ter = v1r * udr - v1i * udi, tei = v1r * udi + v1i * udr;
-      p0[2 * k] = uar + tcr;
-      p0[2 * k + 1] = uai + tci;
-      p2[2 * k] = uar - tcr;
-      p2[2 * k + 1] = uai - tci;
-      p1[2 * k] = ubr + ter;
-      p1[2 * k + 1] = ubi + tei;
-      p3[2 * k] = ubr - ter;
-      p3[2 * k + 1] = ubi - tei;
-    }
-  }
-}
-
-void pass_radix2_scalar(double* d, std::size_t n, std::size_t half, const double* tw) {
-  for (std::size_t base = 0; base < n; base += 2 * half) {
-    double* lo = d + 2 * base;
-    double* hi = lo + 2 * half;
-    for (std::size_t k = 0; k < half; ++k) {
-      const double wr = tw[2 * k], wi = tw[2 * k + 1];
-      const double hr = hi[2 * k], hq = hi[2 * k + 1];
-      const double tr = wr * hr - wi * hq, ti = wr * hq + wi * hr;
-      const double ur = lo[2 * k], ui = lo[2 * k + 1];
-      lo[2 * k] = ur + tr;
-      lo[2 * k + 1] = ui + ti;
-      hi[2 * k] = ur - tr;
-      hi[2 * k + 1] = ui - ti;
-    }
-  }
-}
-
-// Hermitian combine X[k] = E[k] + w^k O[k], X[h-k] = conj(E[k] - w^k O[k])
-// with E, O the even/odd-sample transforms recovered from the half-length
-// spectrum: E = (Z[k] + conj(Z[h-k]))/2, O = -i (Z[k] - conj(Z[h-k]))/2.
-void rfft_pack_scalar(double* s, const double* w, std::size_t h) {
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kc = h - k;
-    const double zkr = s[2 * k], zki = s[2 * k + 1];
-    const double zcr = s[2 * kc], zci = s[2 * kc + 1];
-    const double er = 0.5 * (zkr + zcr), ei = 0.5 * (zki - zci);
-    const double or_ = 0.5 * (zki + zci), oi = 0.5 * (zcr - zkr);
-    const double wr = w[2 * k], wi = w[2 * k + 1];
-    const double tr = wr * or_ - wi * oi, ti = wr * oi + wi * or_;
-    s[2 * k] = er + tr;
-    s[2 * k + 1] = ei + ti;
-    s[2 * kc] = er - tr;
-    s[2 * kc + 1] = ti - ei;
-  }
-}
-
-// Inverse of the combine: recover E and w^k O from X[k], X[h-k], undo the
-// twiddle with conj(w), and store Z[k] = E + iO, Z[h-k] = conj(E) + i conj(O).
-void rfft_unpack_scalar(double* s, const double* w, std::size_t h) {
-  for (std::size_t k = 1; k < h - k; ++k) {
-    const std::size_t kc = h - k;
-    const double ar = s[2 * k], ai = s[2 * k + 1];
-    const double br = s[2 * kc], bi = s[2 * kc + 1];
-    const double er = 0.5 * (ar + br), ei = 0.5 * (ai - bi);
-    const double otr = 0.5 * (ar - br), oti = 0.5 * (ai + bi);
-    const double wr = w[2 * k], wi = w[2 * k + 1];
-    const double or_ = wr * otr + wi * oti, oi = wr * oti - wi * otr;
-    s[2 * k] = er - oi;
-    s[2 * k + 1] = ei + or_;
-    s[2 * kc] = er + oi;
-    s[2 * kc + 1] = or_ - ei;
-  }
-}
-
-constexpr FftKernels kScalarKernels = {pass_first_scalar, pass_radix4_scalar, pass_radix2_scalar,
-                                       rfft_pack_scalar, rfft_unpack_scalar};
-
-// ---------------------------------------------------------------------------
-// Dispatch
-// ---------------------------------------------------------------------------
-
-bool cpu_supports(SimdLevel level) {
-#if defined(TURBDA_HAVE_AVX2) && defined(__x86_64__)
-  switch (level) {
-    case SimdLevel::Scalar:
-      return true;
-    case SimdLevel::Avx2:
-      return __builtin_cpu_supports("avx2") != 0;
-    case SimdLevel::Avx2Fma:
-      return __builtin_cpu_supports("avx2") != 0 && __builtin_cpu_supports("fma") != 0;
-  }
-  return false;
-#else
-  return level == SimdLevel::Scalar;
-#endif
-}
-
-SimdLevel parse_level_env(SimdLevel fallback) {
-  const char* env = std::getenv("TURBDA_SIMD");
-  if (env == nullptr || *env == '\0') return fallback;
-  if (std::strcmp(env, "scalar") == 0) return SimdLevel::Scalar;
-  if (std::strcmp(env, "avx2") == 0) return SimdLevel::Avx2;
-  if (std::strcmp(env, "avx2fma") == 0 || std::strcmp(env, "fma") == 0) return SimdLevel::Avx2Fma;
-  return fallback;  // unrecognized values keep the detected level
-}
-
-SimdLevel detect_level() {
-  SimdLevel best = SimdLevel::Scalar;
-  if (cpu_supports(SimdLevel::Avx2)) best = SimdLevel::Avx2;
-  if (cpu_supports(SimdLevel::Avx2Fma)) best = SimdLevel::Avx2Fma;
-  SimdLevel want = parse_level_env(best);
-  return cpu_supports(want) ? want : best;
-}
-
-std::atomic<SimdLevel>& level_slot() {
-  static std::atomic<SimdLevel> level{detect_level()};
-  return level;
-}
+constexpr FftKernels kScalarKernels = {
+    detail::pass_first_impl<VecScalar>, detail::pass_radix4_impl<VecScalar, false>,
+    detail::pass_radix2_impl<VecScalar, false>, detail::rfft_pack_impl<VecScalar, false>,
+    detail::rfft_unpack_impl<VecScalar, false>};
 
 }  // namespace
 
@@ -199,27 +45,5 @@ const FftKernels& kernels_for(SimdLevel level) {
 }
 
 const FftKernels& active_kernels() { return kernels_for(active_simd_level()); }
-
-SimdLevel active_simd_level() { return level_slot().load(std::memory_order_relaxed); }
-
-const char* simd_level_name(SimdLevel level) {
-  switch (level) {
-    case SimdLevel::Scalar:
-      return "scalar";
-    case SimdLevel::Avx2:
-      return "avx2";
-    case SimdLevel::Avx2Fma:
-      return "avx2fma";
-  }
-  return "unknown";
-}
-
-bool simd_level_available(SimdLevel level) { return cpu_supports(level); }
-
-bool force_simd_level(SimdLevel level) {
-  if (!simd_level_available(level)) return false;
-  level_slot().store(level, std::memory_order_relaxed);
-  return true;
-}
 
 }  // namespace turbda::fft

@@ -3,30 +3,25 @@
 // The radix-2² fused butterfly passes, the final odd radix-2 pass, the fused
 // length-2/4 first stage and the Rfft1D Hermitian pack/unpack sweeps all run
 // on raw interleaved (re, im) doubles — exactly the loop shape an AVX2 lane
-// pair wants. Each of those loops exists in three interchangeable versions
-// behind one table of function pointers:
-//
-//  - Scalar:  portable C++, always available, compiled with -ffp-contract=off
-//             so it stays bitwise reproducible even under -march=native.
-//  - Avx2:    AVX2 intrinsics, one mul/add per IEEE operation in the same
-//             per-element order as the scalar code — bitwise identical to it.
-//  - Avx2Fma: AVX2 + FMA; the twiddle multiplies contract into fused
-//             multiply-adds (one rounding instead of two), so results agree
-//             with the scalar path to ~1 ulp per butterfly, not bitwise.
-//
-// The active level is chosen once at startup from CPUID (the portable build
-// benefits on AVX2 hardware without TURBDA_NATIVE), can be forced down with
-// the TURBDA_SIMD environment variable (scalar | avx2 | avx2fma), and can be
-// overridden programmatically for tests. Dispatch is process-global, so all
-// thread-count bitwise-invariance guarantees are unaffected.
+// pair wants. Each loop is written once against the portable simd::Vec API
+// (simd_kernels_impl.hpp) and instantiated per backend behind one table of
+// function pointers, keyed by the process-global simd::SimdLevel (see
+// simd/dispatch.hpp for level semantics, TURBDA_SIMD and force_simd_level).
 #pragma once
 
 #include <cstddef>
-#include <string>
+
+#include "simd/dispatch.hpp"
 
 namespace turbda::fft {
 
-enum class SimdLevel : int { Scalar = 0, Avx2 = 1, Avx2Fma = 2 };
+// The dispatch level lives in turbda::simd (shared with the LETKF dense
+// kernels); these aliases keep the established fft:: spellings working.
+using simd::SimdLevel;
+using simd::active_simd_level;
+using simd::force_simd_level;
+using simd::simd_level_available;
+using simd::simd_level_name;
 
 /// All FFT inner loops, one function pointer per loop. Buffers are raw
 /// interleaved (re, im) doubles (std::complex array-compatible layout).
@@ -53,16 +48,5 @@ struct FftKernels {
 
 /// Table for the active level (detection + TURBDA_SIMD applied on first use).
 [[nodiscard]] const FftKernels& active_kernels();
-
-[[nodiscard]] SimdLevel active_simd_level();
-[[nodiscard]] const char* simd_level_name(SimdLevel level);
-
-/// True when the level's kernels are compiled in and the CPU supports them.
-[[nodiscard]] bool simd_level_available(SimdLevel level);
-
-/// Force the dispatch level (tests and benches; no-op returning false when
-/// the level is unavailable). Affects the whole process — do not call
-/// concurrently with in-flight transforms.
-bool force_simd_level(SimdLevel level);
 
 }  // namespace turbda::fft

@@ -1,224 +1,38 @@
-// AVX2 / AVX2+FMA FFT kernels. Compiled with -mavx2 -mfma -ffp-contract=off
-// (see CMakeLists.txt); used only after runtime CPUID confirms support.
+// AVX2 / AVX2+FMA FFT kernel tables: the generic Vec kernels from
+// simd_kernels_impl.hpp instantiated with the VecAvx2 backend. Compiled with
+// -mavx2 -mfma -ffp-contract=off (see CMakeLists.txt); used only after
+// runtime CPUID confirms support.
 //
-// The Avx2 table performs exactly one IEEE operation per scalar operation in
-// the same per-element order as the scalar kernels (complex multiplies via
-// mul + addsub), so its results are bitwise identical to the scalar path.
-// The Avx2Fma table contracts each complex multiply's two roundings into one
-// fused multiply-add (fmaddsub / fmsubadd) — ~1 ulp per butterfly from the
-// scalar reference, verified to 1e-12 end to end by the tests. The scalar
-// remainder loops in the rfft kernels repeat the scalar arithmetic verbatim;
-// -ffp-contract=off keeps the compiler from contracting them here.
+// The Avx2 table (kFma = false) performs exactly one IEEE operation per
+// VecScalar operation in the same per-element order, so its results are
+// bitwise identical to the scalar table. The Avx2Fma table contracts each
+// complex multiply's two roundings into one fused multiply-add — ~1 ulp per
+// butterfly from the scalar reference, verified to 1e-12 end to end by the
+// tests.
 #include "fft/simd_kernels.hpp"
 
 #if defined(TURBDA_HAVE_AVX2) && defined(__x86_64__) && defined(__AVX2__)
 
-#include <immintrin.h>
+#include "fft/simd_kernels_impl.hpp"
+#include "simd/vec.hpp"
 
 namespace turbda::fft {
 
-namespace {
-
-// Lane masks for interleaved (re, im) pairs.
-inline __m256d conj_mask() { return _mm256_set_pd(-0.0, 0.0, -0.0, 0.0); }  // flip imag
-inline __m256d neg_mask() { return _mm256_set1_pd(-0.0); }                  // flip both
-
-/// w * b on two interleaved complex pairs.
-template <bool kFma>
-inline __m256d cmul(__m256d w, __m256d b) {
-  const __m256d wr = _mm256_movedup_pd(w);       // [wr wr wr' wr']
-  const __m256d wi = _mm256_permute_pd(w, 0xF);  // [wi wi wi' wi']
-  const __m256d bs = _mm256_permute_pd(b, 0x5);  // [bi br bi' br']
-  if constexpr (kFma) {
-    return _mm256_fmaddsub_pd(wr, b, _mm256_mul_pd(wi, bs));
-  } else {
-    return _mm256_addsub_pd(_mm256_mul_pd(wr, b), _mm256_mul_pd(wi, bs));
-  }
-}
-
-/// conj(w) * b on two interleaved complex pairs.
-template <bool kFma>
-inline __m256d cmul_conj(__m256d w, __m256d b) {
-  const __m256d wr = _mm256_movedup_pd(w);
-  const __m256d wi = _mm256_permute_pd(w, 0xF);
-  const __m256d bs = _mm256_permute_pd(b, 0x5);
-  if constexpr (kFma) {
-    return _mm256_fmsubadd_pd(wr, b, _mm256_mul_pd(wi, bs));
-  } else {
-    return _mm256_addsub_pd(_mm256_mul_pd(wr, b),
-                            _mm256_xor_pd(_mm256_mul_pd(wi, bs), neg_mask()));
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Butterfly passes
-// ---------------------------------------------------------------------------
-
-void pass_first_avx2(double* d, std::size_t n2, double isign) {
-  // Per 4-complex block: A = [z0+z1 | z0-z1], D = [z2+z3 | -+i (z2-z3)],
-  // outputs A±D — the same adds/multiplies as the scalar code, lane-parallel.
-  const __m256d rot = _mm256_set_pd(isign, -isign, 1.0, 1.0);
-  for (std::size_t base = 0; base < n2; base += 8) {
-    double* p = d + base;
-    const __m256d r0 = _mm256_loadu_pd(p);
-    const __m256d r1 = _mm256_loadu_pd(p + 4);
-    const __m256d sw0 = _mm256_permute2f128_pd(r0, r0, 0x01);
-    const __m256d sw1 = _mm256_permute2f128_pd(r1, r1, 0x01);
-    const __m256d s0 = _mm256_add_pd(r0, sw0), d0 = _mm256_sub_pd(r0, sw0);
-    const __m256d s1 = _mm256_add_pd(r1, sw1), d1 = _mm256_sub_pd(r1, sw1);
-    const __m256d a = _mm256_permute2f128_pd(s0, d0, 0x20);  // [a0 | a1]
-    const __m256d c = _mm256_permute2f128_pd(s1, d1, 0x20);  // [a2 | a3]
-    const __m256d cs = _mm256_permute_pd(c, 0x5);            // [a2 im/re | a3 im/re]
-    const __m256d dd = _mm256_blend_pd(c, _mm256_mul_pd(cs, rot), 0b1100);  // [a2 | b3]
-    _mm256_storeu_pd(p, _mm256_add_pd(a, dd));
-    _mm256_storeu_pd(p + 4, _mm256_sub_pd(a, dd));
-  }
-}
-
-template <bool kFma>
-void pass_radix4_avx2(double* d, std::size_t n, std::size_t half, const double* tw,
-                      const double* tw1) {
-  const std::size_t len4 = 4 * half;
-  for (std::size_t base = 0; base < n; base += len4) {
-    double* p0 = d + 2 * base;
-    double* p1 = p0 + 2 * half;
-    double* p2 = p1 + 2 * half;
-    double* p3 = p2 + 2 * half;
-    for (std::size_t k = 0; k < half; k += 2) {  // half >= 4 and even: no tail
-      const __m256d w = _mm256_loadu_pd(tw + 2 * k);
-      const __m256d a = _mm256_loadu_pd(p0 + 2 * k);
-      const __m256d b = _mm256_loadu_pd(p1 + 2 * k);
-      const __m256d c = _mm256_loadu_pd(p2 + 2 * k);
-      const __m256d e = _mm256_loadu_pd(p3 + 2 * k);
-      const __m256d tb = cmul<kFma>(w, b);
-      const __m256d td = cmul<kFma>(w, e);
-      const __m256d ua = _mm256_add_pd(a, tb), ub = _mm256_sub_pd(a, tb);
-      const __m256d uc = _mm256_add_pd(c, td), ud = _mm256_sub_pd(c, td);
-      const __m256d v0 = _mm256_loadu_pd(tw1 + 2 * k);
-      const __m256d v1 = _mm256_loadu_pd(tw1 + 2 * (k + half));
-      const __m256d tc = cmul<kFma>(v0, uc);
-      const __m256d te = cmul<kFma>(v1, ud);
-      _mm256_storeu_pd(p0 + 2 * k, _mm256_add_pd(ua, tc));
-      _mm256_storeu_pd(p2 + 2 * k, _mm256_sub_pd(ua, tc));
-      _mm256_storeu_pd(p1 + 2 * k, _mm256_add_pd(ub, te));
-      _mm256_storeu_pd(p3 + 2 * k, _mm256_sub_pd(ub, te));
-    }
-  }
-}
-
-template <bool kFma>
-void pass_radix2_avx2(double* d, std::size_t n, std::size_t half, const double* tw) {
-  for (std::size_t base = 0; base < n; base += 2 * half) {
-    double* lo = d + 2 * base;
-    double* hi = lo + 2 * half;
-    for (std::size_t k = 0; k < half; k += 2) {  // half >= 4 and even: no tail
-      const __m256d w = _mm256_loadu_pd(tw + 2 * k);
-      const __m256d h = _mm256_loadu_pd(hi + 2 * k);
-      const __m256d u = _mm256_loadu_pd(lo + 2 * k);
-      const __m256d t = cmul<kFma>(w, h);
-      _mm256_storeu_pd(lo + 2 * k, _mm256_add_pd(u, t));
-      _mm256_storeu_pd(hi + 2 * k, _mm256_sub_pd(u, t));
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rfft1D Hermitian pack/unpack. Bins k and h-k are updated together; the
-// vector loop walks two bins from each end per iteration (the mirrored pair
-// is loaded/stored through one 128-bit-lane swap), and hands the last one or
-// two middle bins to a scalar remainder with the identical arithmetic.
-// ---------------------------------------------------------------------------
-
-template <bool kFma>
-void rfft_pack_avx2(double* s, const double* w, std::size_t h) {
-  const __m256d half_v = _mm256_set1_pd(0.5);
-  std::size_t k = 1;
-  for (; 2 * k + 2 < h; k += 2) {
-    const std::size_t mbase = 2 * (h - k - 1);
-    const __m256d fwd = _mm256_loadu_pd(s + 2 * k);
-    const __m256d mir0 = _mm256_loadu_pd(s + mbase);
-    const __m256d mir = _mm256_permute2f128_pd(mir0, mir0, 0x01);  // [z(h-k) | z(h-k-1)]
-    const __m256d e =
-        _mm256_mul_pd(half_v, _mm256_add_pd(fwd, _mm256_xor_pd(mir, conj_mask())));
-    const __m256d fwds = _mm256_permute_pd(fwd, 0x5);
-    const __m256d mirs = _mm256_permute_pd(mir, 0x5);
-    const __m256d o = _mm256_mul_pd(
-        half_v, _mm256_addsub_pd(mirs, _mm256_xor_pd(fwds, neg_mask())));
-    const __m256d t = cmul<kFma>(_mm256_loadu_pd(w + 2 * k), o);
-    const __m256d outk = _mm256_add_pd(e, t);
-    // Mirror bin (er - tr, ti - ei): negating the (e - t) subtraction would
-    // flip the sign of an exactly-zero imaginary lane (-(x - x) is -0.0,
-    // ti - ei is +0.0), so build it as an addsub of negated operands — x +
-    // (-y) is the same IEEE operation as x - y, keeping the scalar
-    // reference bitwise.
-    const __m256d x = _mm256_blend_pd(e, t, 0b1010);  // [er ti | ...]
-    const __m256d y = _mm256_blend_pd(t, _mm256_xor_pd(e, neg_mask()), 0b1010);  // [tr -ei | ...]
-    const __m256d outkc = _mm256_addsub_pd(x, y);
-    _mm256_storeu_pd(s + 2 * k, outk);
-    _mm256_storeu_pd(s + mbase, _mm256_permute2f128_pd(outkc, outkc, 0x01));
-  }
-  for (; k < h - k; ++k) {  // scalar remainder, same arithmetic
-    const std::size_t kc = h - k;
-    const double zkr = s[2 * k], zki = s[2 * k + 1];
-    const double zcr = s[2 * kc], zci = s[2 * kc + 1];
-    const double er = 0.5 * (zkr + zcr), ei = 0.5 * (zki - zci);
-    const double or_ = 0.5 * (zki + zci), oi = 0.5 * (zcr - zkr);
-    const double wr = w[2 * k], wi = w[2 * k + 1];
-    const double tr = wr * or_ - wi * oi, ti = wr * oi + wi * or_;
-    s[2 * k] = er + tr;
-    s[2 * k + 1] = ei + ti;
-    s[2 * kc] = er - tr;
-    s[2 * kc + 1] = ti - ei;
-  }
-}
-
-template <bool kFma>
-void rfft_unpack_avx2(double* s, const double* w, std::size_t h) {
-  const __m256d half_v = _mm256_set1_pd(0.5);
-  std::size_t k = 1;
-  for (; 2 * k + 2 < h; k += 2) {
-    const std::size_t mbase = 2 * (h - k - 1);
-    const __m256d fwd = _mm256_loadu_pd(s + 2 * k);
-    const __m256d mir0 = _mm256_loadu_pd(s + mbase);
-    const __m256d mir = _mm256_permute2f128_pd(mir0, mir0, 0x01);
-    const __m256d e = _mm256_mul_pd(
-        half_v, _mm256_addsub_pd(fwd, _mm256_xor_pd(mir, neg_mask())));
-    const __m256d ot = _mm256_mul_pd(half_v, _mm256_addsub_pd(fwd, mir));
-    const __m256d o = cmul_conj<kFma>(_mm256_loadu_pd(w + 2 * k), ot);
-    const __m256d os = _mm256_permute_pd(o, 0x5);  // [oi or_ | ...]
-    const __m256d outk = _mm256_addsub_pd(e, os);
-    const __m256d x = _mm256_blend_pd(e, os, 0b1010);  // [er or_ | ...]
-    const __m256d y = _mm256_blend_pd(os, e, 0b1010);  // [oi ei | ...]
-    const __m256d outkc = _mm256_addsub_pd(x, _mm256_xor_pd(y, neg_mask()));
-    _mm256_storeu_pd(s + 2 * k, outk);
-    _mm256_storeu_pd(s + mbase, _mm256_permute2f128_pd(outkc, outkc, 0x01));
-  }
-  for (; k < h - k; ++k) {  // scalar remainder, same arithmetic
-    const std::size_t kc = h - k;
-    const double ar = s[2 * k], ai = s[2 * k + 1];
-    const double br = s[2 * kc], bi = s[2 * kc + 1];
-    const double er = 0.5 * (ar + br), ei = 0.5 * (ai - bi);
-    const double otr = 0.5 * (ar - br), oti = 0.5 * (ai + bi);
-    const double wr = w[2 * k], wi = w[2 * k + 1];
-    const double or_ = wr * otr + wi * oti, oi = wr * oti - wi * otr;
-    s[2 * k] = er - oi;
-    s[2 * k + 1] = ei + or_;
-    s[2 * kc] = er + oi;
-    s[2 * kc + 1] = or_ - ei;
-  }
-}
-
-}  // namespace
+using simd::VecAvx2;
 
 // Declared extern in simd_kernels.cpp (namespace-scope const defaults to
 // internal linkage, so the declarations must precede the definitions).
 extern const FftKernels kAvx2Kernels;
 extern const FftKernels kAvx2FmaKernels;
 
-const FftKernels kAvx2Kernels = {pass_first_avx2, pass_radix4_avx2<false>, pass_radix2_avx2<false>,
-                                 rfft_pack_avx2<false>, rfft_unpack_avx2<false>};
-const FftKernels kAvx2FmaKernels = {pass_first_avx2, pass_radix4_avx2<true>, pass_radix2_avx2<true>,
-                                    rfft_pack_avx2<true>, rfft_unpack_avx2<true>};
+const FftKernels kAvx2Kernels = {
+    detail::pass_first_impl<VecAvx2>, detail::pass_radix4_impl<VecAvx2, false>,
+    detail::pass_radix2_impl<VecAvx2, false>, detail::rfft_pack_impl<VecAvx2, false>,
+    detail::rfft_unpack_impl<VecAvx2, false>};
+const FftKernels kAvx2FmaKernels = {
+    detail::pass_first_impl<VecAvx2>, detail::pass_radix4_impl<VecAvx2, true>,
+    detail::pass_radix2_impl<VecAvx2, true>, detail::rfft_pack_impl<VecAvx2, true>,
+    detail::rfft_unpack_impl<VecAvx2, true>};
 
 }  // namespace turbda::fft
 

@@ -1,0 +1,45 @@
+// Runtime-dispatched small-dense kernels for the ensemble-space hot loops.
+//
+// The LETKF analysis and the Jacobi eigensolver reduce to four primitive
+// loops over contiguous rows: a rank-k row accumulation (every Gram build,
+// GEMV and small GEMM in the weight algebra), a Givens rotation of two rows,
+// and two scale/shift forms for the posterior combine. Like the FFT tables,
+// each primitive is written once against the portable simd::Vec API
+// (dense_kernels_impl.hpp) and instantiated per backend behind a table of
+// function pointers keyed by the process-global simd::SimdLevel.
+//
+// Determinism contract: every kernel vectorizes over independent output
+// lanes and accumulates sequentially over the reduction index — no lane
+// reduction trees — so the Scalar and Avx2 tables are bitwise identical,
+// and results never depend on thread count. The Avx2Fma table contracts
+// multiplies into FMAs (~1 ulp per accumulation step).
+#pragma once
+
+#include <cstddef>
+
+#include "simd/dispatch.hpp"
+
+namespace turbda::simd {
+
+struct DenseKernels {
+  /// acc[j] += sum_i x[i * ldx] * y[i * ldy + j] for j in [0, m): a rank-k
+  /// update of one contiguous accumulator row from k strided coefficients
+  /// and k contiguous rows of y. Sequential over i, vector over j.
+  void (*accum_rows)(double* acc, const double* x, std::size_t ldx, const double* y,
+                     std::size_t ldy, std::size_t k, std::size_t m);
+  /// Givens rotation of two contiguous rows:
+  /// (p[i], q[i]) <- (c*p[i] - s*q[i], s*p[i] + c*q[i]).
+  void (*rot_rows)(double* p, double* q, std::size_t n, double c, double s);
+  /// out[i] = alpha * in[i].
+  void (*scale)(double* out, const double* in, std::size_t n, double alpha);
+  /// out[i] = shift + alpha * in[i].
+  void (*scale_shift)(double* out, const double* in, std::size_t n, double alpha, double shift);
+};
+
+/// Kernel table for the given level; level must be available.
+[[nodiscard]] const DenseKernels& dense_kernels_for(SimdLevel level);
+
+/// Table for the active level (detection + TURBDA_SIMD applied on first use).
+[[nodiscard]] const DenseKernels& active_dense_kernels();
+
+}  // namespace turbda::simd

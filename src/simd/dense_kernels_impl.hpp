@@ -1,0 +1,108 @@
+// Generic small-dense kernels over the portable simd::Vec API — one kernel
+// text instantiated per backend (VecScalar in dense_kernels.cpp, VecAvx2 in
+// dense_kernels_avx2.cpp) and per multiply-add mode (kFma).
+//
+// Each kernel vectorizes over independent output lanes and keeps any
+// reduction sequential over the i index, so with kFma == false every
+// element's value is the same fixed sequence of IEEE operations in every
+// backend — the bitwise-determinism backbone of the LETKF analysis. Scalar
+// tails use the same (fused or unfused) arithmetic as the vector body so an
+// element's value never depends on which loop computed it across runs.
+//
+// TUs including this header are compiled with -ffp-contract=off and
+// auto-vectorization off (see CMakeLists.txt).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "simd/vec.hpp"
+
+namespace turbda::simd::detail {
+
+template <class V, bool kFma>
+void accum_rows_impl(double* acc, const double* x, std::size_t ldx, const double* y,
+                     std::size_t ldy, std::size_t k, std::size_t m) {
+  std::size_t j = 0;
+  for (; j + 2 * V::kWidth <= m; j += 2 * V::kWidth) {
+    V a0 = V::loadu(acc + j);
+    V a1 = V::loadu(acc + j + V::kWidth);
+    const double* yj = y + j;
+    for (std::size_t i = 0; i < k; ++i) {
+      const V xi = V::broadcast(x[i * ldx]);
+      a0 = V::template mul_add<kFma>(xi, V::loadu(yj + i * ldy), a0);
+      a1 = V::template mul_add<kFma>(xi, V::loadu(yj + i * ldy + V::kWidth), a1);
+    }
+    a0.storeu(acc + j);
+    a1.storeu(acc + j + V::kWidth);
+  }
+  for (; j + V::kWidth <= m; j += V::kWidth) {
+    V a = V::loadu(acc + j);
+    const double* yj = y + j;
+    for (std::size_t i = 0; i < k; ++i)
+      a = V::template mul_add<kFma>(V::broadcast(x[i * ldx]), V::loadu(yj + i * ldy), a);
+    a.storeu(acc + j);
+  }
+  for (; j < m; ++j) {
+    double a = acc[j];
+    for (std::size_t i = 0; i < k; ++i) {
+      if constexpr (kFma) {
+        a = std::fma(x[i * ldx], y[i * ldy + j], a);
+      } else {
+        a += x[i * ldx] * y[i * ldy + j];
+      }
+    }
+    acc[j] = a;
+  }
+}
+
+template <class V, bool kFma>
+void rot_rows_impl(double* p, double* q, std::size_t n, double c, double s) {
+  const V vc = V::broadcast(c);
+  const V vs = V::broadcast(s);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) {
+    const V a = V::loadu(p + i);
+    const V b = V::loadu(q + i);
+    const V np = V::template mul_sub<kFma>(vc, a, vs * b);
+    const V nq = V::template mul_add<kFma>(vs, a, vc * b);
+    np.storeu(p + i);
+    nq.storeu(q + i);
+  }
+  for (; i < n; ++i) {
+    const double a = p[i], b = q[i];
+    if constexpr (kFma) {
+      p[i] = std::fma(c, a, -(s * b));
+      q[i] = std::fma(s, a, c * b);
+    } else {
+      p[i] = c * a - s * b;
+      q[i] = s * a + c * b;
+    }
+  }
+}
+
+template <class V>
+void scale_impl(double* out, const double* in, std::size_t n, double alpha) {
+  const V va = V::broadcast(alpha);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth) (va * V::loadu(in + i)).storeu(out + i);
+  for (; i < n; ++i) out[i] = alpha * in[i];
+}
+
+template <class V, bool kFma>
+void scale_shift_impl(double* out, const double* in, std::size_t n, double alpha, double shift) {
+  const V va = V::broadcast(alpha);
+  const V vsh = V::broadcast(shift);
+  std::size_t i = 0;
+  for (; i + V::kWidth <= n; i += V::kWidth)
+    V::template mul_add<kFma>(va, V::loadu(in + i), vsh).storeu(out + i);
+  for (; i < n; ++i) {
+    if constexpr (kFma) {
+      out[i] = std::fma(alpha, in[i], shift);
+    } else {
+      out[i] = shift + alpha * in[i];
+    }
+  }
+}
+
+}  // namespace turbda::simd::detail

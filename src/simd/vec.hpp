@@ -1,0 +1,222 @@
+// Portable SIMD value type: the one vector abstraction in the tree.
+//
+// `Vec` models a 256-bit register of four doubles with the small fixed set of
+// lane operations the FFT butterflies and the LETKF dense kernels need:
+// load/store, broadcast, +/-/*, fused and unfused multiply-add, the
+// addsub/fmaddsub family for interleaved complex pairs, and in-register
+// shuffles (pair swap, even/odd duplicate, 128-bit half swap, blend).
+//
+// Two interchangeable backends implement that interface:
+//
+//  - VecScalar: portable C++ emulation, four doubles in an array. One IEEE
+//    operation per lane operation, so a kernel instantiated with VecScalar is
+//    the bitwise reference for the same kernel instantiated with VecAvx2.
+//    Translation units that instantiate it are compiled with
+//    -ffp-contract=off and auto-vectorization disabled (see CMakeLists.txt)
+//    so the emulation never silently grows FMA contractions.
+//  - VecAvx2: AVX2 intrinsics, only defined when the TU is compiled with
+//    -mavx2 (each backend lives in its own TU; runtime CPUID dispatch in
+//    simd/dispatch.cpp picks the table, never inline ISA checks).
+//
+// The `kFma` template flag on the multiply-add entry points selects between
+// fused (one rounding, AVX2+FMA or std::fma) and unfused (mul then add, the
+// bitwise-reproducible level) arithmetic at compile time, so one kernel text
+// instantiates all three dispatch levels.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace turbda::simd {
+
+/// Four-double vector emulated in scalar code. Bitwise reference backend.
+struct VecScalar {
+  static constexpr std::size_t kWidth = 4;
+  double v[kWidth];
+
+  [[nodiscard]] static VecScalar loadu(const double* p) {
+    return VecScalar{{p[0], p[1], p[2], p[3]}};
+  }
+  void storeu(double* p) const {
+    p[0] = v[0];
+    p[1] = v[1];
+    p[2] = v[2];
+    p[3] = v[3];
+  }
+  [[nodiscard]] static VecScalar broadcast(double x) { return VecScalar{{x, x, x, x}}; }
+  [[nodiscard]] static VecScalar lanes(double l0, double l1, double l2, double l3) {
+    return VecScalar{{l0, l1, l2, l3}};
+  }
+
+  friend VecScalar operator+(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] + b.v[0], a.v[1] + b.v[1], a.v[2] + b.v[2], a.v[3] + b.v[3]}};
+  }
+  friend VecScalar operator-(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] - b.v[0], a.v[1] - b.v[1], a.v[2] - b.v[2], a.v[3] - b.v[3]}};
+  }
+  friend VecScalar operator*(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+  }
+
+  /// a * b + c; fused to one rounding when kFma (std::fma is correctly
+  /// rounded, so the value matches a hardware vfmadd exactly).
+  template <bool kFma>
+  [[nodiscard]] static VecScalar mul_add(VecScalar a, VecScalar b, VecScalar c) {
+    if constexpr (kFma) {
+      return VecScalar{{std::fma(a.v[0], b.v[0], c.v[0]), std::fma(a.v[1], b.v[1], c.v[1]),
+                        std::fma(a.v[2], b.v[2], c.v[2]), std::fma(a.v[3], b.v[3], c.v[3])}};
+    } else {
+      return a * b + c;
+    }
+  }
+  /// a * b - c (fused when kFma).
+  template <bool kFma>
+  [[nodiscard]] static VecScalar mul_sub(VecScalar a, VecScalar b, VecScalar c) {
+    if constexpr (kFma) {
+      return VecScalar{{std::fma(a.v[0], b.v[0], -c.v[0]), std::fma(a.v[1], b.v[1], -c.v[1]),
+                        std::fma(a.v[2], b.v[2], -c.v[2]), std::fma(a.v[3], b.v[3], -c.v[3])}};
+    } else {
+      return a * b - c;
+    }
+  }
+
+  /// [a0-b0, a1+b1, a2-b2, a3+b3] — the complex-pair even-sub/odd-add shape.
+  [[nodiscard]] static VecScalar addsub(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] - b.v[0], a.v[1] + b.v[1], a.v[2] - b.v[2], a.v[3] + b.v[3]}};
+  }
+  /// a*b -/+ c per even/odd lane (fused when kFma).
+  template <bool kFma>
+  [[nodiscard]] static VecScalar fmaddsub(VecScalar a, VecScalar b, VecScalar c) {
+    if constexpr (kFma) {
+      return VecScalar{{std::fma(a.v[0], b.v[0], -c.v[0]), std::fma(a.v[1], b.v[1], c.v[1]),
+                        std::fma(a.v[2], b.v[2], -c.v[2]), std::fma(a.v[3], b.v[3], c.v[3])}};
+    } else {
+      return addsub(a * b, c);
+    }
+  }
+  /// a*b +/- c per even/odd lane (fused when kFma). The unfused form negates
+  /// c and reuses addsub: x - (-y) is the same IEEE operation as x + y.
+  template <bool kFma>
+  [[nodiscard]] static VecScalar fmsubadd(VecScalar a, VecScalar b, VecScalar c) {
+    if constexpr (kFma) {
+      return VecScalar{{std::fma(a.v[0], b.v[0], c.v[0]), std::fma(a.v[1], b.v[1], -c.v[1]),
+                        std::fma(a.v[2], b.v[2], c.v[2]), std::fma(a.v[3], b.v[3], -c.v[3])}};
+    } else {
+      return addsub(a * b, c.neg());
+    }
+  }
+
+  [[nodiscard]] VecScalar swap_pairs() const { return VecScalar{{v[1], v[0], v[3], v[2]}}; }
+  [[nodiscard]] VecScalar dup_even() const { return VecScalar{{v[0], v[0], v[2], v[2]}}; }
+  [[nodiscard]] VecScalar dup_odd() const { return VecScalar{{v[1], v[1], v[3], v[3]}}; }
+  [[nodiscard]] VecScalar swap_halves() const { return VecScalar{{v[2], v[3], v[0], v[1]}}; }
+  /// [a0, a1, b0, b1] — low 128-bit halves of a and b.
+  [[nodiscard]] static VecScalar concat_lo(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0], a.v[1], b.v[0], b.v[1]}};
+  }
+  /// Per-lane select: bit i of kMask set -> lane i from b, else from a.
+  template <int kMask>
+  [[nodiscard]] static VecScalar blend(VecScalar a, VecScalar b) {
+    return VecScalar{{(kMask & 1) ? b.v[0] : a.v[0], (kMask & 2) ? b.v[1] : a.v[1],
+                      (kMask & 4) ? b.v[2] : a.v[2], (kMask & 8) ? b.v[3] : a.v[3]}};
+  }
+  /// All lanes negated (sign-bit flip, exact for ±0 and NaN payloads).
+  [[nodiscard]] VecScalar neg() const { return VecScalar{{-v[0], -v[1], -v[2], -v[3]}}; }
+  /// Odd (imaginary) lanes negated: complex conjugate of interleaved pairs.
+  [[nodiscard]] VecScalar conj() const { return VecScalar{{v[0], -v[1], v[2], -v[3]}}; }
+};
+
+#if defined(__AVX2__)
+
+/// Four-double vector on AVX2 registers. Same interface as VecScalar; only
+/// available in translation units compiled with -mavx2.
+struct VecAvx2 {
+  static constexpr std::size_t kWidth = 4;
+  __m256d v;
+
+  [[nodiscard]] static VecAvx2 loadu(const double* p) { return VecAvx2{_mm256_loadu_pd(p)}; }
+  void storeu(double* p) const { _mm256_storeu_pd(p, v); }
+  [[nodiscard]] static VecAvx2 broadcast(double x) { return VecAvx2{_mm256_set1_pd(x)}; }
+  [[nodiscard]] static VecAvx2 lanes(double l0, double l1, double l2, double l3) {
+    return VecAvx2{_mm256_set_pd(l3, l2, l1, l0)};
+  }
+
+  friend VecAvx2 operator+(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_add_pd(a.v, b.v)}; }
+  friend VecAvx2 operator-(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_sub_pd(a.v, b.v)}; }
+  friend VecAvx2 operator*(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_mul_pd(a.v, b.v)}; }
+
+  template <bool kFma>
+  [[nodiscard]] static VecAvx2 mul_add(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    if constexpr (kFma) {
+      return VecAvx2{_mm256_fmadd_pd(a.v, b.v, c.v)};
+    } else {
+      return a * b + c;
+    }
+  }
+  template <bool kFma>
+  [[nodiscard]] static VecAvx2 mul_sub(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    if constexpr (kFma) {
+      return VecAvx2{_mm256_fmsub_pd(a.v, b.v, c.v)};
+    } else {
+      return a * b - c;
+    }
+  }
+
+  [[nodiscard]] static VecAvx2 addsub(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_addsub_pd(a.v, b.v)};
+  }
+  template <bool kFma>
+  [[nodiscard]] static VecAvx2 fmaddsub(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    if constexpr (kFma) {
+      return VecAvx2{_mm256_fmaddsub_pd(a.v, b.v, c.v)};
+    } else {
+      return addsub(a * b, c);
+    }
+  }
+  template <bool kFma>
+  [[nodiscard]] static VecAvx2 fmsubadd(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    if constexpr (kFma) {
+      return VecAvx2{_mm256_fmsubadd_pd(a.v, b.v, c.v)};
+    } else {
+      return addsub(a * b, c.neg());
+    }
+  }
+
+  [[nodiscard]] VecAvx2 swap_pairs() const { return VecAvx2{_mm256_permute_pd(v, 0x5)}; }
+  [[nodiscard]] VecAvx2 dup_even() const { return VecAvx2{_mm256_movedup_pd(v)}; }
+  [[nodiscard]] VecAvx2 dup_odd() const { return VecAvx2{_mm256_permute_pd(v, 0xF)}; }
+  [[nodiscard]] VecAvx2 swap_halves() const { return VecAvx2{_mm256_permute2f128_pd(v, v, 0x01)}; }
+  [[nodiscard]] static VecAvx2 concat_lo(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_permute2f128_pd(a.v, b.v, 0x20)};
+  }
+  template <int kMask>
+  [[nodiscard]] static VecAvx2 blend(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_blend_pd(a.v, b.v, kMask)};
+  }
+  [[nodiscard]] VecAvx2 neg() const {
+    return VecAvx2{_mm256_xor_pd(v, _mm256_set1_pd(-0.0))};
+  }
+  [[nodiscard]] VecAvx2 conj() const {
+    return VecAvx2{_mm256_xor_pd(v, _mm256_set_pd(-0.0, 0.0, -0.0, 0.0))};
+  }
+};
+
+#endif  // __AVX2__
+
+/// w * b on two interleaved (re, im) complex pairs.
+template <bool kFma, class V>
+[[nodiscard]] inline V cmul(V w, V b) {
+  return V::template fmaddsub<kFma>(w.dup_even(), b, w.dup_odd() * b.swap_pairs());
+}
+
+/// conj(w) * b on two interleaved (re, im) complex pairs.
+template <bool kFma, class V>
+[[nodiscard]] inline V cmul_conj(V w, V b) {
+  return V::template fmsubadd<kFma>(w.dup_even(), b, w.dup_odd() * b.swap_pairs());
+}
+
+}  // namespace turbda::simd

@@ -149,6 +149,11 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base
     ens_->init_perturbed(base, cfg_.init_spread, rng_init);
   }
 
+  // Let the filter pre-build network-dependent caches (e.g. LETKF's
+  // local-observation plan) before the deadline clock starts ticking; the
+  // stream's network is known up front and stays fixed across cycles.
+  if (filter_ != nullptr) filter_->prepare(stream_.h(), stream_.r());
+
   return cfg_.schedule == Schedule::Serial ? run_serial() : run_overlapped();
 }
 

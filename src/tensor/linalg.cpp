@@ -7,55 +7,96 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "simd/dense_kernels.hpp"
 #include "tensor/gemm.hpp"
 
 namespace turbda::tensor {
 
-void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps) {
+namespace {
+
+/// Sum of squared strictly-upper-triangle elements.
+double off_diag_sq(const Tensor& m, std::size_t n) {
+  double off = 0.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+  return off;
+}
+
+}  // namespace
+
+void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps,
+                 EighInfo* info) {
   TURBDA_REQUIRE(a.rank() == 2 && a.extent(0) == a.extent(1), "jacobi_eigh: square matrix");
   const std::size_t n = a.extent(0);
   Tensor m = a;  // working copy
-  v.reset({n, n});
-  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+  // Eigenvectors are accumulated transposed (rows instead of columns) so
+  // every rotation is two contiguous-row updates through the SIMD row
+  // kernels; the extraction below transposes back to the column convention.
+  Tensor vt({n, n});
+  for (std::size_t i = 0; i < n; ++i) vt(i, i) = 1.0;
+  const auto& dk = simd::active_dense_kernels();
 
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    double off = 0.0;
-    for (std::size_t p = 0; p < n; ++p)
-      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
-    if (off < 1e-26) break;
+  // Relative convergence: off-diagonal Frobenius norm below 1e-14 of the
+  // matrix norm. The per-rotation skip threshold is sized so that a sweep
+  // skipping every pair has provably converged (n(n-1)/2 pairs each below
+  // tol_sq / (n(n-1)) sum to at most tol_sq / 2).
+  double fro_sq = 0.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) fro_sq += m(p, q) * m(p, q);
+  const double tol_sq = 1e-28 * fro_sq;
+  const double skip_sq = n > 1 ? tol_sq / static_cast<double>(n * (n - 1)) : 0.0;
 
+  int sweeps_used = 0;
+  double off_sq = off_diag_sq(m, n);
+  bool converged = off_sq <= tol_sq;
+  while (!converged && sweeps_used < max_sweeps) {
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = m(p, q);
-        if (std::abs(apq) < 1e-300) continue;
+        if (apq * apq <= skip_sq) continue;
         const double app = m(p, p), aqq = m(q, q);
         const double tau = (aqq - app) / (2.0 * apq);
         const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
                                       : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = t * c;
-        // Rotate rows/cols p and q of m.
+        // Two-sided rotation: rotate rows p and q contiguously, then mirror
+        // them into columns p and q — valid because the pre-rotation matrix
+        // is symmetric, so (G^T M G)(i, p) for i outside {p, q} equals the
+        // row-rotated M(p, i). The 2x2 pivot block has the closed form
+        // app' = app - t*apq, aqq' = aqq + t*apq, apq' = 0.
+        double* rp = &m(p, 0);
+        double* rq = &m(q, 0);
+        dk.rot_rows(rp, rq, n, c, s);
         for (std::size_t i = 0; i < n; ++i) {
-          const double mip = m(i, p), miq = m(i, q);
-          m(i, p) = c * mip - s * miq;
-          m(i, q) = s * mip + c * miq;
+          if (i == p || i == q) continue;
+          m(i, p) = rp[i];
+          m(i, q) = rq[i];
         }
-        for (std::size_t i = 0; i < n; ++i) {
-          const double mpi = m(p, i), mqi = m(q, i);
-          m(p, i) = c * mpi - s * mqi;
-          m(q, i) = s * mpi + c * mqi;
-        }
-        // Accumulate eigenvectors.
-        for (std::size_t i = 0; i < n; ++i) {
-          const double vip = v(i, p), viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
-        }
+        m(p, p) = app - t * apq;
+        m(q, q) = aqq + t * apq;
+        m(p, q) = 0.0;
+        m(q, p) = 0.0;
+        // Accumulate eigenvectors (rows of vt).
+        dk.rot_rows(&vt(p, 0), &vt(q, 0), n, c, s);
       }
     }
+    ++sweeps_used;
+    off_sq = off_diag_sq(m, n);
+    converged = off_sq <= tol_sq;
   }
+  if (info != nullptr) {
+    info->sweeps = sweeps_used;
+    info->off_fro = std::sqrt(off_sq);
+    info->converged = converged;
+  }
+  TURBDA_REQUIRE(converged, "jacobi_eigh: not converged after "
+                                << sweeps_used << " sweeps (off-diagonal Frobenius "
+                                << std::sqrt(off_sq) << ", matrix Frobenius "
+                                << std::sqrt(fro_sq) << ")");
 
-  // Extract and sort eigenvalues ascending, permuting eigenvector columns.
+  // Extract and sort eigenvalues ascending, permuting eigenvector columns
+  // (vt rows transpose back into v columns).
   w.resize(n);
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -65,7 +106,7 @@ void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_swe
   Tensor vs({n, n});
   for (std::size_t j = 0; j < n; ++j) {
     ws[j] = w[order[j]];
-    for (std::size_t i = 0; i < n; ++i) vs(i, j) = v(i, order[j]);
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = vt(order[j], i);
   }
   w = std::move(ws);
   v = std::move(vs);

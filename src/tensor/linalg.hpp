@@ -13,10 +13,24 @@
 
 namespace turbda::tensor {
 
-/// Symmetric eigendecomposition A = V diag(w) V^T by cyclic Jacobi rotations.
-/// `a` must be rank-2 square symmetric; returns eigenvalues ascending in `w`
-/// and orthonormal eigenvectors as *columns* of `v`.
-void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps = 50);
+/// Convergence report from jacobi_eigh.
+struct EighInfo {
+  int sweeps = 0;        ///< cyclic sweeps actually performed
+  double off_fro = 0.0;  ///< final off-diagonal Frobenius norm
+  bool converged = false;
+};
+
+/// Symmetric eigendecomposition A = V diag(w) V^T by cyclic Jacobi rotations
+/// with threshold skipping. `a` must be rank-2 square symmetric; returns
+/// eigenvalues ascending in `w` and orthonormal eigenvectors as *columns* of
+/// `v`. Converged when the off-diagonal Frobenius norm falls below 1e-14
+/// times the matrix Frobenius norm; throws turbda::Error if that does not
+/// happen within max_sweeps (fill `info` first, so callers that pass it can
+/// inspect the residual). Rotations run through the runtime-dispatched
+/// simd::DenseKernels row kernels, whose Scalar and Avx2 tables are bitwise
+/// identical.
+void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps = 50,
+                 EighInfo* info = nullptr);
 
 /// Cholesky factorization A = L L^T (lower). Throws turbda::Error if A is not
 /// positive definite.

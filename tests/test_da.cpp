@@ -307,6 +307,152 @@ TEST(Letkf, RtpsRestoresSpread) {
   EXPECT_GT(e2.mean_spread(), e1.mean_spread());
 }
 
+TEST(Letkf, CachedPlanMatchesFreshFilterAcrossCycles) {
+  // A static observation network: one filter reusing its prepared plan over
+  // several cycles must produce bitwise the same analyses as a fresh filter
+  // (fresh plan) built every cycle.
+  Rng rng(11);
+  const std::size_t nx = 12, ny = 10, nlev = 2;
+  const std::size_t d = nx * ny * nlev;
+  const std::size_t m = 8;
+
+  LetkfConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.n_levels = nlev;
+  cfg.domain_m = 4.0e6;
+  cfg.cutoff_m = 1.5e6;
+  cfg.rtps = 0.3;
+  IdentityObs h(d, nx, ny, nlev);
+  DiagonalR r(d, 0.8);
+
+  Ensemble cached = make_gaussian_ensemble(m, d, rng);
+  Ensemble fresh(m, d);
+  fresh.data() = cached.data();
+
+  LETKF keeper(cfg);
+  EXPECT_FALSE(keeper.has_plan());
+  keeper.prepare(h, r);
+  EXPECT_TRUE(keeper.has_plan());
+
+  Rng yrng(12);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    std::vector<double> y(d);
+    yrng.fill_gaussian(y, 0.0, 1.0);
+    keeper.analyze(cached, y, h, r);
+    LETKF once(cfg);
+    once.analyze(fresh, y, h, r);
+    EXPECT_EQ(0, std::memcmp(cached.data().flat().data(), fresh.data().flat().data(),
+                             m * d * sizeof(double)))
+        << "cycle " << cycle;
+  }
+}
+
+TEST(Letkf, PlanInvalidatedOnNetworkChange) {
+  // A filter whose plan was warmed on a different network (or different R)
+  // must rebuild and match a fresh filter that only ever saw the final one.
+  Rng rng(13);
+  const std::size_t nx = 12, ny = 12, nlev = 2;
+  const std::size_t d = nx * ny * nlev;
+  const std::size_t m = 8;
+
+  LetkfConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.n_levels = nlev;
+  cfg.domain_m = 4.0e6;
+  cfg.cutoff_m = 1.5e6;
+
+  IdentityObs h_dense(d, nx, ny, nlev);
+  DiagonalR r_dense(d, 1.0);
+  SubsampleObs h_sparse = SubsampleObs::strided_grid(nx, ny, nlev, 3);
+  const std::size_t p = h_sparse.obs_dim();
+  DiagonalR r_sparse(p, 0.5);
+
+  Ensemble prior = make_gaussian_ensemble(m, d, rng);
+  std::vector<double> y_dense(d), y_sparse(p);
+  Rng yrng(14);
+  yrng.fill_gaussian(y_dense, 0.0, 1.0);
+  yrng.fill_gaussian(y_sparse, 0.0, 1.0);
+
+  // Warm on the dense network, then analyze the sparse one.
+  Ensemble a(m, d), b(m, d);
+  a.data() = prior.data();
+  LETKF reused(cfg);
+  reused.analyze(a, y_dense, h_dense, r_dense);
+  a.data() = prior.data();
+  reused.analyze(a, y_sparse, h_sparse, r_sparse);
+
+  b.data() = prior.data();
+  LETKF only_sparse(cfg);
+  only_sparse.analyze(b, y_sparse, h_sparse, r_sparse);
+  EXPECT_EQ(0, std::memcmp(a.data().flat().data(), b.data().flat().data(),
+                           m * d * sizeof(double)));
+
+  // Same network, different R variances: also a different plan.
+  DiagonalR r_scaled(p, 2.0);
+  a.data() = prior.data();
+  reused.analyze(a, y_sparse, h_sparse, r_scaled);
+  b.data() = prior.data();
+  LETKF only_scaled(cfg);
+  only_scaled.analyze(b, y_sparse, h_sparse, r_scaled);
+  EXPECT_EQ(0, std::memcmp(a.data().flat().data(), b.data().flat().data(),
+                           m * d * sizeof(double)));
+}
+
+TEST(Letkf, GroupedSolvesMatchUngroupedAcrossThreads) {
+  // With no vertical localization decay (rossby_radius_m = 0), an identity
+  // network, and uniform R, both levels of every grid column resolve to the
+  // same local problem: grouping must halve the eigensolves and change
+  // nothing in the result, at any thread count.
+  Rng rng(15);
+  const std::size_t nx = 10, ny = 10, nlev = 2;
+  const std::size_t d = nx * ny * nlev;
+  const std::size_t m = 10;
+
+  LetkfConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.n_levels = nlev;
+  cfg.domain_m = 4.0e6;
+  cfg.cutoff_m = 1.5e6;
+  cfg.rossby_radius_m = 0.0;
+  cfg.collect_timings = true;
+
+  IdentityObs h(d, nx, ny, nlev);
+  DiagonalR r(d, 1.0);
+  Ensemble prior = make_gaussian_ensemble(m, d, rng);
+  std::vector<double> y(d);
+  Rng yrng(16);
+  yrng.fill_gaussian(y, 0.0, 1.0);
+
+  Ensemble ref(m, d);
+  ref.data() = prior.data();
+  {
+    cfg.group_columns = false;
+    cfg.n_threads = 1;
+    LETKF letkf(cfg);
+    letkf.analyze(ref, y, h, r);
+    EXPECT_EQ(letkf.timings().groups, letkf.timings().columns);
+  }
+  for (const bool grouped : {false, true}) {
+    for (const std::size_t nt : {std::size_t{1}, std::size_t{3}}) {
+      cfg.group_columns = grouped;
+      cfg.n_threads = nt;
+      LETKF letkf(cfg);
+      Ensemble work(m, d);
+      work.data() = prior.data();
+      letkf.analyze(work, y, h, r);
+      EXPECT_EQ(0, std::memcmp(ref.data().flat().data(), work.data().flat().data(),
+                               m * d * sizeof(double)))
+          << "grouped=" << grouped << " threads=" << nt;
+      if (grouped) {
+        EXPECT_EQ(letkf.timings().groups, letkf.timings().columns / 2);
+      }
+    }
+  }
+}
+
 TEST(Ensf, RecoversPosteriorForScalarGaussian) {
   // Prior N(0,1) (large ensemble), obs y = 2 with R = 1: posterior is
   // N(1, 1/2). EnSF is a sampling approximation — verify mean and variance

@@ -17,6 +17,7 @@
 #include "da/osse.hpp"
 #include "models/model_error.hpp"
 #include "rng/rng.hpp"
+#include "simd/dispatch.hpp"
 #include "sqg/sqg.hpp"
 #include "tensor/gemm.hpp"
 
@@ -81,6 +82,35 @@ TEST(Determinism, LetkfIndependentOfThreadCount) {
     filter.analyze(c.ens, c.y, c.h, c.r);
     expect_bitwise_equal(ref_case.ens, c.ens, nt);
   }
+}
+
+TEST(Determinism, LetkfIndependentOfSimdLevel) {
+  // The dense-kernel Scalar table emulates 4-lane vectors with identical IEEE
+  // operation order to the Avx2 table, so the whole analysis must be bitwise
+  // reproducible across those dispatch levels (FMA legitimately differs).
+  if (!simd::simd_level_available(simd::SimdLevel::Avx2)) GTEST_SKIP() << "no AVX2";
+  da::LetkfConfig lc;
+  lc.nx = kNx;
+  lc.ny = kNy;
+  lc.n_levels = kLev;
+  lc.domain_m = 4.0e6;
+  lc.cutoff_m = 1.5e6;
+
+  const simd::SimdLevel before = simd::active_simd_level();
+  SmallCase scalar_case;
+  simd::force_simd_level(simd::SimdLevel::Scalar);
+  {
+    da::LETKF filter(lc);
+    filter.analyze(scalar_case.ens, scalar_case.y, scalar_case.h, scalar_case.r);
+  }
+  SmallCase avx2_case;
+  simd::force_simd_level(simd::SimdLevel::Avx2);
+  {
+    da::LETKF filter(lc);
+    filter.analyze(avx2_case.ens, avx2_case.y, avx2_case.h, avx2_case.r);
+  }
+  simd::force_simd_level(before);
+  expect_bitwise_equal(scalar_case.ens, avx2_case.ens, 1);
 }
 
 TEST(Determinism, EnsfIndependentOfThreadCount) {

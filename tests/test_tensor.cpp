@@ -193,6 +193,72 @@ TEST(Eigh, DiagonalMatrix) {
   EXPECT_NEAR(w[2], 3.0, 1e-12);
 }
 
+TEST(Eigh, NearDegenerateSpectrumConvergesWithReport) {
+  // Eigenvalues separated by ~1e-12 of their magnitude: rotations between the
+  // near-degenerate pair are ill-conditioned, but thresholded Jacobi must
+  // still converge and say so in the report.
+  const std::size_t n = 6;
+  std::vector<double> diag{1.0, 1.0 + 1e-12, 1.0 + 2e-12, 3.0, 3.0 + 1e-12, 7.0};
+  // A = Q diag Q^T with a deterministic dense orthogonal Q (product of plane
+  // rotations), so the degeneracy is not axis-aligned.
+  Tensor q({n, n});
+  for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t r = p + 1; r < n; ++r) {
+      const double th = 0.4 + 0.13 * static_cast<double>(p * n + r);
+      const double c = std::cos(th), s = std::sin(th);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double qp = q(i, p), qr = q(i, r);
+        q(i, p) = c * qp - s * qr;
+        q(i, r) = s * qp + c * qr;
+      }
+    }
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) s += q(i, k) * diag[k] * q(j, k);
+      a(i, j) = s;
+    }
+
+  Tensor v;
+  std::vector<double> w;
+  EighInfo info;
+  jacobi_eigh(a, v, w, 50, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_GT(info.sweeps, 0);
+  EXPECT_LE(info.off_fro, 1e-14 * fro_norm(a));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(w[i], diag[i], 1e-9);
+
+  // Residual check: A v_j = w_j v_j even inside the degenerate clusters.
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t k = 0; k < n; ++k) av += a(i, k) * v(k, j);
+      EXPECT_NEAR(av, w[j] * v(i, j), 1e-9);
+    }
+}
+
+TEST(Eigh, ThrowsOnInsufficientSweepsAndFillsInfo) {
+  Rng rng(31);
+  const std::size_t n = 12;
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  Tensor v;
+  std::vector<double> w;
+  EighInfo info;
+  EXPECT_THROW(jacobi_eigh(a, v, w, /*max_sweeps=*/0, &info), turbda::Error);
+  // The report is filled before the throw so callers can inspect it.
+  EXPECT_FALSE(info.converged);
+  EXPECT_EQ(info.sweeps, 0);
+  EXPECT_GT(info.off_fro, 0.0);
+}
+
 TEST(Cholesky, FactorizesAndSolves) {
   Rng rng(7);
   const std::size_t n = 8;
