@@ -4,14 +4,27 @@
 // Shows how assimilation quality degrades as delivery degrades, and what
 // the overlapped forecast/analysis pipeline trades for its throughput.
 //
+// Fault tolerance: the stream can be wrapped in a deterministic fault
+// injector (NaN/Inf/outlier values, stuck channels, duplicated and truncated
+// batches) with observation QC, graceful degradation and periodic
+// checkpointing on the runner side. `--soak` runs an aggressive end-to-end
+// injection scenario in both schedules, prints the degradation table and
+// exits non-zero if any cycle failed to complete — the CI crash harness.
+//
 //   build/examples/realtime_da [--latency=0.3] [--jitter=0.5] [--drop=0.2]
+//   build/examples/realtime_da --nan=0.05 --stuck=0.3 --qc
+//   build/examples/realtime_da --soak
+#include <cmath>
+#include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "da/etkf.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
 #include "models/lorenz96.hpp"
+#include "stream/faulty_stream.hpp"
 #include "stream/realtime_runner.hpp"
 #include "stream/synthetic_stream.hpp"
 
@@ -23,24 +36,171 @@ struct Summary {
   double rmse = 0.0;
   int misses = 0;
   int assimilated = 0;
+  int obs_rejected = 0;
+  int batches_rejected = 0;
+  int analysis_failures = 0;
+  int spread_recoveries = 0;
+  int degraded_cycles = 0;
   std::vector<stream::StreamCycleMetrics> metrics;
+  stream::FaultCounters faults;
+  da::Ensemble ens{2, 2};
 };
 
 Summary run_scenario(const stream::SyntheticStreamConfig& sc, const stream::RealtimeConfig& rc,
-                     std::span<const double> truth0, const models::Lorenz96Config& mc) {
+                     std::span<const double> truth0, const models::Lorenz96Config& mc,
+                     const stream::FaultConfig* fc = nullptr, bool use_filter = true,
+                     const std::string& resume_from = {}) {
   models::Lorenz96 truth_model(mc), fcst_model(mc);
   da::IdentityObs h(mc.dim);
   da::DiagonalR r(mc.dim, 1.0);
   da::ETKF filter(da::EtkfConfig{.rtps = 0.4});
 
-  stream::SyntheticStream s(sc, truth_model, h, r, truth0);
-  stream::RealtimeRunner runner(rc, s, fcst_model, &filter);
+  stream::SyntheticStream inner(sc, truth_model, h, r, truth0);
+  std::optional<stream::FaultyStream> faulty;
+  stream::ObservationStream* s = &inner;
+  if (fc != nullptr) {
+    faulty.emplace(*fc, inner);
+    s = &*faulty;
+  }
+  stream::RealtimeRunner runner(rc, *s, fcst_model, use_filter ? &filter : nullptr);
   Summary out;
-  out.metrics = runner.run(truth0);
+  if (resume_from.empty()) {
+    out.metrics = runner.run(truth0);
+  } else {
+    const Status st = runner.resume(resume_from, out.metrics);
+    if (!st.ok()) {
+      std::cerr << "resume failed: " << st.to_string() << "\n";
+      std::exit(1);
+    }
+  }
+  out.ens = runner.ensemble();
   out.rmse = stream::mean_rmse_post(out.metrics, rc.cycles / 2);
   out.misses = stream::count_deadline_misses(out.metrics);
-  for (const auto& m : out.metrics) out.assimilated += m.batches_assimilated;
+  for (const auto& m : out.metrics) {
+    out.assimilated += m.batches_assimilated;
+    out.obs_rejected += m.obs_rejected;
+    out.batches_rejected += m.batches_rejected;
+    out.analysis_failures += m.analysis_failures;
+    out.spread_recoveries += m.spread_recoveries;
+    out.degraded_cycles += m.degraded ? 1 : 0;
+  }
+  if (faulty.has_value()) out.faults = faulty->counters();
   return out;
+}
+
+bool bitwise_equal(const da::Ensemble& a, const da::Ensemble& b) {
+  if (a.size() != b.size() || a.dim() != b.dim()) return false;
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    const auto ra = a.member(m);
+    const auto rb = b.member(m);
+    if (std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+/// Aggressive end-to-end fault soak (the CI harness): every injector active,
+/// QC + degradation + spread watchdog on, both schedules, plus a
+/// checkpoint/resume bitwise round-trip. Returns the process exit code.
+int run_soak(const io::Args& args, const models::Lorenz96Config& mc,
+             std::span<const double> truth0) {
+  stream::RealtimeConfig rc;
+  rc.cycles = static_cast<int>(args.get_int("cycles", 150));
+  rc.n_members = static_cast<std::size_t>(args.get_int("members", 20));
+  rc.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  rc.window_hours = 6.0;
+  rc.deadline_slack_cycles = 0.25;
+  rc.qc.enabled = true;
+  rc.qc.clim_min = -100.0;
+  rc.qc.clim_max = 100.0;
+  rc.qc.bg_sigma = 5.0;
+  rc.qc.stale_r_inflation = 0.5;
+  rc.spread_floor = 1e-3;
+  rc.spread_ceiling = 50.0;
+
+  // Moderately degraded delivery: most batches make their deadline, some
+  // straggle, some drop. The soak stresses *content* corruption — extreme
+  // latency is the plain example's regime.
+  stream::SyntheticStreamConfig sc;
+  sc.seed = rc.seed;
+  sc.latency_cycles = 0.1;
+  sc.jitter_cycles = 0.25;
+  sc.dropout_prob = 0.1;
+
+  stream::FaultConfig fc;
+  fc.nan_prob = 0.05;
+  fc.inf_prob = 0.02;
+  fc.outlier_prob = 0.03;
+  fc.stuck_prob = 0.3;
+  fc.duplicate_prob = 0.3;
+  fc.truncate_prob = 0.15;
+
+  std::cout << "Fault-injection soak: " << rc.cycles << " cycles x " << rc.n_members
+            << " members, NaN=" << fc.nan_prob << " Inf=" << fc.inf_prob
+            << " outlier=" << fc.outlier_prob << " stuck=" << fc.stuck_prob
+            << " dup=" << fc.duplicate_prob << " trunc=" << fc.truncate_prob
+            << ", QC + degradation + spread watchdog on\n\n";
+
+  const auto free_run = run_scenario(sc, rc, truth0, mc, nullptr, /*use_filter=*/false);
+
+  int failures = 0;
+  io::Table t({"schedule", "cycles", "late-half RMSE", "obs rejected", "batches refused",
+               "analysis failures", "spread recoveries", "degraded cycles"});
+  for (const auto schedule : {stream::Schedule::Serial, stream::Schedule::Overlapped}) {
+    auto rcs = rc;
+    rcs.schedule = schedule;
+    const auto r = run_scenario(sc, rcs, truth0, mc, &fc);
+    const char* name = schedule == stream::Schedule::Serial ? "serial" : "overlapped";
+    t.add_row({name, std::to_string(r.metrics.size()), io::Table::num(r.rmse, 3),
+               std::to_string(r.obs_rejected), std::to_string(r.batches_rejected),
+               std::to_string(r.analysis_failures), std::to_string(r.spread_recoveries),
+               std::to_string(r.degraded_cycles)});
+    if (r.metrics.size() != static_cast<std::size_t>(rcs.cycles)) {
+      std::cerr << "SOAK FAIL: " << name << " completed " << r.metrics.size() << " of "
+                << rcs.cycles << " cycles\n";
+      ++failures;
+    }
+    for (const auto& m : r.metrics)
+      if (!std::isfinite(m.rmse_post) || !std::isfinite(m.spread_post)) {
+        std::cerr << "SOAK FAIL: " << name << " cycle " << m.cycle << " went non-finite\n";
+        ++failures;
+        break;
+      }
+    if (!(r.rmse < free_run.rmse)) {
+      std::cerr << "SOAK FAIL: " << name << " late-half RMSE " << r.rmse
+                << " does not beat the free run (" << free_run.rmse << ")\n";
+      ++failures;
+    }
+  }
+  t.print();
+
+  // Checkpoint mid-run, resume in a fresh stack, demand a bitwise-identical
+  // final ensemble.
+  const std::string ckpt = args.get_str("ckpt", "soak_ckpt.bin");
+  auto rck = rc;
+  rck.checkpoint_path = ckpt;
+  rck.checkpoint_every = std::max(rc.cycles / 3, 1);
+  const auto baseline = run_scenario(sc, rc, truth0, mc, &fc);
+  const auto writer = run_scenario(sc, rck, truth0, mc, &fc);
+  const auto resumed = run_scenario(sc, rck, truth0, mc, &fc, true, ckpt);
+  if (!bitwise_equal(baseline.ens, writer.ens) || !bitwise_equal(baseline.ens, resumed.ens)) {
+    std::cerr << "SOAK FAIL: checkpoint/resume is not bitwise identical\n";
+    ++failures;
+  }
+  std::remove(ckpt.c_str());
+
+  std::cout << "\nInjected faults (serial pass): NaN=" << baseline.faults.nan_values
+            << " Inf=" << baseline.faults.inf_values
+            << " outliers=" << baseline.faults.outlier_values
+            << " stuck=" << baseline.faults.stuck_values
+            << " duplicated=" << baseline.faults.batches_duplicated
+            << " truncated=" << baseline.faults.batches_truncated << "\n";
+  if (failures == 0) {
+    std::cout << "\nSOAK PASS: every cycle completed, all analyses finite, RMSE below the "
+                 "free run, checkpoint/resume bitwise identical.\n";
+    return 0;
+  }
+  std::cerr << "\nSOAK: " << failures << " check(s) failed\n";
+  return 1;
 }
 
 }  // namespace
@@ -60,13 +220,37 @@ int main(int argc, char** argv) {
            "  --drop=<f>        probability a window's batch is lost (default 0.2)\n"
            "  --slack=<f>       deadline grace beyond the window end (default 0.25)\n"
            "  --stale=<int>     max straggler age in cycles before discard (default 2)\n"
-           "  --csv=<path>      per-cycle metrics of the degraded run (default realtime_da.csv)\n";
+           "  --csv=<path>      per-cycle metrics of the degraded run (default realtime_da.csv)\n"
+           "fault injection (0 disables; any > 0 wraps the stream in FaultyStream):\n"
+           "  --nan=<f> --inf=<f> --outlier=<f>   per-value corruption probabilities\n"
+           "  --stuck=<f>       per-batch probability a channel freezes for 3 windows\n"
+           "  --dup=<f>         per-batch duplicate-transmission probability\n"
+           "  --trunc=<f>       per-batch truncation probability\n"
+           "quality control / degradation:\n"
+           "  --qc              enable observation QC (finite + range + departure gates)\n"
+           "  --bg-sigma=<f>    background-departure gate width (default 5)\n"
+           "  --stale-inflation=<f>  age-dependent R inflation per cycle of staleness\n"
+           "                    (> 0 replaces the staleness discard; default 0.5 with --qc)\n"
+           "checkpointing:\n"
+           "  --ckpt=<path>     snapshot file (with --ckpt-every=<n> cycles)\n"
+           "  --resume          continue from --ckpt instead of starting fresh\n"
+           "soak:\n"
+           "  --soak            aggressive end-to-end fault soak in both schedules;\n"
+           "                    exits non-zero if any cycle fails to complete\n";
     return 0;
   }
 
   models::Lorenz96Config mc;
   mc.dim = 40;
   mc.steps_per_window = 10;
+
+  // Spin the truth onto the attractor.
+  std::vector<double> truth0(mc.dim, 8.0);
+  truth0[0] += 0.01;
+  models::Lorenz96 spin(mc);
+  for (int i = 0; i < 500; ++i) spin.step(truth0);
+
+  if (args.flag("soak")) return run_soak(args, mc, truth0);
 
   stream::RealtimeConfig rc;
   rc.cycles = static_cast<int>(args.get_int("cycles", 40));
@@ -77,6 +261,29 @@ int main(int argc, char** argv) {
   rc.deadline_slack_cycles = args.get_double("slack", 0.25);
   rc.max_stale_cycles = static_cast<int>(args.get_int("stale", 2));
 
+  stream::FaultConfig fc;
+  fc.seed = rc.seed + 9001;
+  fc.nan_prob = args.get_double("nan", 0.0);
+  fc.inf_prob = args.get_double("inf", 0.0);
+  fc.outlier_prob = args.get_double("outlier", 0.0);
+  fc.stuck_prob = args.get_double("stuck", 0.0);
+  fc.duplicate_prob = args.get_double("dup", 0.0);
+  fc.truncate_prob = args.get_double("trunc", 0.0);
+  const bool inject = fc.nan_prob + fc.inf_prob + fc.outlier_prob + fc.stuck_prob +
+                          fc.duplicate_prob + fc.truncate_prob >
+                      0.0;
+
+  if (args.flag("qc") || inject) {
+    rc.qc.enabled = true;
+    rc.qc.clim_min = -100.0;
+    rc.qc.clim_max = 100.0;
+    rc.qc.bg_sigma = args.get_double("bg-sigma", 5.0);
+    rc.qc.stale_r_inflation = args.get_double("stale-inflation", 0.5);
+  }
+  rc.checkpoint_path = args.get_str("ckpt", "");
+  rc.checkpoint_every = static_cast<int>(args.get_int("ckpt-every", 10));
+  const std::string resume_from = args.flag("resume") ? rc.checkpoint_path : "";
+
   stream::SyntheticStreamConfig degraded;
   degraded.seed = rc.seed;
   degraded.latency_cycles = args.get_double("latency", 0.3);
@@ -86,31 +293,45 @@ int main(int argc, char** argv) {
   stream::SyntheticStreamConfig instant;
   instant.seed = rc.seed;
 
-  // Spin the truth onto the attractor.
-  std::vector<double> truth0(mc.dim, 8.0);
-  truth0[0] += 0.01;
-  models::Lorenz96 spin(mc);
-  for (int i = 0; i < 500; ++i) spin.step(truth0);
-
   std::cout << "Streaming DA on Lorenz-96 (" << mc.dim << " vars, " << rc.cycles << " cycles, "
             << rc.n_members << " members, R = I): latency=" << degraded.latency_cycles
             << " jitter=" << degraded.jitter_cycles << " drop=" << degraded.dropout_prob
-            << " slack=" << rc.deadline_slack_cycles << "\n\n";
+            << " slack=" << rc.deadline_slack_cycles
+            << (inject ? " + fault injection" : "") << (rc.qc.enabled ? " + QC" : "") << "\n\n";
 
-  const auto ideal = run_scenario(instant, rc, truth0, mc);
-  auto serial = run_scenario(degraded, rc, truth0, mc);
-  stream::RealtimeConfig oc = rc;
+  const stream::FaultConfig* fcp = inject ? &fc : nullptr;
+  // Only the headline degraded serial run checkpoints/resumes; the
+  // comparison runs must not touch the snapshot file.
+  stream::RealtimeConfig ic = rc;
+  ic.checkpoint_path.clear();
+  const auto ideal = run_scenario(instant, ic, truth0, mc);
+  auto serial = run_scenario(degraded, rc, truth0, mc, fcp, true, resume_from);
+  stream::RealtimeConfig oc = ic;
   oc.schedule = stream::Schedule::Overlapped;
-  const auto overlapped = run_scenario(degraded, oc, truth0, mc);
+  const auto overlapped = run_scenario(degraded, oc, truth0, mc, fcp);
 
   io::Table t({"scenario", "late-half RMSE", "deadline misses", "batches assimilated"});
   t.add_row({"instant delivery, serial", io::Table::num(ideal.rmse, 3),
              std::to_string(ideal.misses), std::to_string(ideal.assimilated)});
-  t.add_row({"degraded, serial", io::Table::num(serial.rmse, 3), std::to_string(serial.misses),
+  t.add_row({inject ? "degraded + faults, serial" : "degraded, serial",
+             io::Table::num(serial.rmse, 3), std::to_string(serial.misses),
              std::to_string(serial.assimilated)});
-  t.add_row({"degraded, overlapped", io::Table::num(overlapped.rmse, 3),
-             std::to_string(overlapped.misses), std::to_string(overlapped.assimilated)});
+  t.add_row({inject ? "degraded + faults, overlapped" : "degraded, overlapped",
+             io::Table::num(overlapped.rmse, 3), std::to_string(overlapped.misses),
+             std::to_string(overlapped.assimilated)});
   t.print();
+
+  if (inject) {
+    std::cout << "\nInjected (serial run): NaN=" << serial.faults.nan_values
+              << " Inf=" << serial.faults.inf_values
+              << " outliers=" << serial.faults.outlier_values
+              << " stuck=" << serial.faults.stuck_values
+              << " duplicated=" << serial.faults.batches_duplicated
+              << " truncated=" << serial.faults.batches_truncated
+              << "; QC rejected " << serial.obs_rejected << " values, refused "
+              << serial.batches_rejected << " batches, " << serial.degraded_cycles
+              << " degraded cycle(s)\n";
+  }
 
   std::cout << "\nPer-cycle view of the degraded serial run (every 5th cycle):\n";
   io::Table c({"cycle", "prior RMSE", "post RMSE", "batches", "age", "miss"});

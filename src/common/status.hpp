@@ -1,0 +1,69 @@
+// Structured recoverable-error channel.
+//
+// TURBDA_REQUIRE (check.hpp) throws turbda::Error for *contract violations*
+// — programmer mistakes that should abort the operation loudly. Operational
+// faults are different: a non-convergent eigensolve, a corrupt observation
+// batch or a bad checkpoint file are conditions a long-running assimilation
+// service must survive, report, and degrade around. Status is the value-type
+// channel for those: fallible entry points (Filter::try_analyze, checkpoint
+// load/save) return one instead of throwing, so the cycling driver can
+// decide the degradation policy (forecast-only cycle, column fallback,
+// refuse a resume) without unwinding through worker threads.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace turbda {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller handed inconsistent shapes/values
+  kNonConvergent,    ///< an iterative solve ran out of iterations
+  kCorruptData,      ///< data failed integrity checks (CRC, magic, bounds)
+  kUnsupported,      ///< the implementation cannot honor the request
+  kIoError,          ///< filesystem read/write failure
+  kFailed,           ///< other recoverable failure (message has details)
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNonConvergent: return "non-convergent";
+    case StatusCode::kCorruptData: return "corrupt-data";
+    case StatusCode::kUnsupported: return "unsupported";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;  ///< ok
+  Status(StatusCode code, std::string message) : code_(code), msg_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
+
+  /// "non-convergent: Jacobi eigensolve exceeded 50 sweeps" — for logs.
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    std::string s = status_code_name(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+}  // namespace turbda

@@ -22,11 +22,50 @@ EnSF::EnSF(EnsfConfig cfg) : cfg_(cfg) {
 
 void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
                    const DiagonalR& r) {
+  const Status s = analyze_impl(ens, y, h, r, AnalysisOptions{}, nullptr);
+  TURBDA_REQUIRE(s.ok(), "EnSF analysis failed — " << s.to_string());
+}
+
+Status EnSF::try_analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
+                         const DiagonalR& r, const AnalysisOptions& opts, AnalysisStats* stats) {
+  try {
+    return analyze_impl(ens, y, h, r, opts, stats);
+  } catch (const Error& e) {
+    return Status(StatusCode::kFailed, e.what());
+  }
+}
+
+bool EnSF::save_state(std::vector<std::uint8_t>& out) const {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(cycle_ >> (8 * i)));
+  return true;
+}
+
+bool EnSF::restore_state(std::span<const std::uint8_t> in) {
+  if (in.size() != 8) return false;
+  std::uint64_t c = 0;
+  for (int i = 0; i < 8; ++i) c |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  cycle_ = c;
+  return true;
+}
+
+Status EnSF::analyze_impl(Ensemble& ens, std::span<const double> y,
+                          const ObservationOperator& h, const DiagonalR& r,
+                          const AnalysisOptions& opts, AnalysisStats* stats) {
   const std::size_t big_m = ens.size();  // number of analysis samples to draw
   const std::size_t d = ens.dim();
   TURBDA_REQUIRE(h.state_dim() == d, "EnSF: operator/state dim mismatch");
   TURBDA_REQUIRE(y.size() == h.obs_dim() && r.dim() == h.obs_dim(),
                  "EnSF: obs vector / R dim mismatch");
+  TURBDA_REQUIRE(opts.r_scale >= 1.0, "EnSF: r_scale must be >= 1");
+  TURBDA_REQUIRE(opts.obs_mask.empty() || opts.obs_mask.size() == h.obs_dim(),
+                 "EnSF: obs_mask size mismatch");
+  const std::uint8_t* mask = opts.obs_mask.empty() ? nullptr : opts.obs_mask.data();
+  const double inv_r_scale = 1.0 / opts.r_scale;
+  if (stats != nullptr) {
+    *stats = AnalysisStats{.obs_total = h.obs_dim()};
+    if (mask != nullptr)
+      for (std::size_t o = 0; o < h.obs_dim(); ++o) stats->obs_masked += mask[o] ? 0 : 1;
+  }
 
   // Counter-based RNG layout: one base stream per assimilation cycle for the
   // shared draws (minibatch shuffles), plus a derived substream per analysis
@@ -154,10 +193,15 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
             auto zm = z.row(m);
             const auto wxm = wx.row(m);
 
-            // Likelihood score at z_m: J_h^T R^{-1} (y - h(z)).
+            // Likelihood score at z_m: J_h^T R^{-1} (y - h(z)). QC-masked
+            // observations get a zero residual (their raw value is never
+            // touched), and r_scale uniformly deflates the R^{-1} weighting.
             h.apply(zm, hx);
-            for (std::size_t i = 0; i < hx.size(); ++i) resid[i] = y[i] - hx[i];
+            for (std::size_t i = 0; i < hx.size(); ++i)
+              resid[i] = (mask != nullptr && mask[i] == 0) ? 0.0 : y[i] - hx[i];
             r.apply_inverse(resid, rinv_resid);
+            if (opts.r_scale != 1.0)
+              for (double& v : rinv_resid) v *= inv_r_scale;
             h.adjoint(zm, rinv_resid, like_grad);
 
             rng::Rng& zrng = sample_rng[m];
@@ -193,6 +237,7 @@ void EnSF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
       }
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace turbda::da

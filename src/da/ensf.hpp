@@ -86,6 +86,20 @@ class EnSF final : public Filter {
   void analyze(Ensemble& ensemble, std::span<const double> y, const ObservationOperator& h,
                const DiagonalR& r) override;
 
+  /// Recoverable entry point: a masked observation contributes a zero
+  /// residual to the likelihood score (exact excision) and r_scale uniformly
+  /// deflates R^{-1}; with default options this is bitwise-identical to
+  /// analyze().
+  Status try_analyze(Ensemble& ensemble, std::span<const double> y,
+                     const ObservationOperator& h, const DiagonalR& r,
+                     const AnalysisOptions& opts = {}, AnalysisStats* stats = nullptr) override;
+
+  /// EnSF's only cross-cycle mutable state is the cycle counter that keys the
+  /// per-cycle RNG stream — serializing it makes a resumed run draw the same
+  /// noise as the uninterrupted one.
+  bool save_state(std::vector<std::uint8_t>& out) const override;
+  bool restore_state(std::span<const std::uint8_t> in) override;
+
   [[nodiscard]] std::string name() const override { return "EnSF"; }
 
   [[nodiscard]] const EnsfConfig& config() const { return cfg_; }
@@ -95,6 +109,10 @@ class EnSF final : public Filter {
   [[nodiscard]] std::uint64_t cycles_done() const { return cycle_; }
 
  private:
+  Status analyze_impl(Ensemble& ensemble, std::span<const double> y,
+                      const ObservationOperator& h, const DiagonalR& r,
+                      const AnalysisOptions& opts, AnalysisStats* stats);
+
   EnsfConfig cfg_;
   std::uint64_t cycle_ = 0;
 };

@@ -17,10 +17,35 @@ ETKF::ETKF(EtkfConfig cfg) : cfg_(cfg) {
 
 void ETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
                    const DiagonalR& r) {
+  const Status s = analyze_impl(ens, y, h, r, AnalysisOptions{}, nullptr);
+  TURBDA_REQUIRE(s.ok(), "ETKF analysis failed — " << s.to_string());
+}
+
+Status ETKF::try_analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
+                         const DiagonalR& r, const AnalysisOptions& opts, AnalysisStats* stats) {
+  try {
+    return analyze_impl(ens, y, h, r, opts, stats);
+  } catch (const Error& e) {
+    return Status(StatusCode::kFailed, e.what());
+  }
+}
+
+Status ETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
+                          const ObservationOperator& h, const DiagonalR& r,
+                          const AnalysisOptions& opts, AnalysisStats* stats) {
   const std::size_t m = ens.size();
   const std::size_t d = ens.dim();
   const std::size_t p = h.obs_dim();
   TURBDA_REQUIRE(y.size() == p && r.dim() == p, "ETKF: obs dim mismatch");
+  TURBDA_REQUIRE(opts.r_scale >= 1.0, "ETKF: r_scale must be >= 1");
+  TURBDA_REQUIRE(opts.obs_mask.empty() || opts.obs_mask.size() == p,
+                 "ETKF: obs_mask size mismatch");
+  const std::uint8_t* mask = opts.obs_mask.empty() ? nullptr : opts.obs_mask.data();
+  if (stats != nullptr) {
+    *stats = AnalysisStats{.obs_total = p};
+    if (mask != nullptr)
+      for (std::size_t o = 0; o < p; ++o) stats->obs_masked += mask[o] ? 0 : 1;
+  }
 
   const auto xbar = ens.mean();
   const auto prior_sd = ens.stddev();
@@ -46,24 +71,44 @@ void ETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
   for (std::size_t k = 0; k < m; ++k)
     for (std::size_t o = 0; o < p; ++o) yb(k, o) = (yb(k, o) - ybar[o]) * cfg_.mult_inflation;
 
-  // C = Yb R^{-1} (rows k): c(k,o) = yb(k,o)/r_o.
+  // Innovation with masked entries pinned to zero: a QC-excised observation
+  // must contribute nothing even when its raw value is non-finite.
+  std::vector<double> innov(p);
+  for (std::size_t o = 0; o < p; ++o)
+    innov[o] = (mask != nullptr && mask[o] == 0) ? 0.0 : y[o] - ybar[o];
+
+  // C = Yb R^{-1} (rows k): c(k,o) = yb(k,o) / (r_scale * r_o); a masked
+  // observation gets weight 0, which excises it from A and wbar exactly.
   Tensor c({m, p});
   for (std::size_t k = 0; k < m; ++k)
-    for (std::size_t o = 0; o < p; ++o) c(k, o) = yb(k, o) / r.variance(o);
+    for (std::size_t o = 0; o < p; ++o)
+      c(k, o) = (mask != nullptr && mask[o] == 0)
+                    ? 0.0
+                    : yb(k, o) / (r.variance(o) * opts.r_scale);
 
   // A = (m-1) I + C Yb^T (m x m).
   Tensor a = tensor::matmul_nt(c, yb);
   for (std::size_t k = 0; k < m; ++k) a(k, k) += static_cast<double>(m - 1);
 
+  // The eigensolve happens before any member is written: on failure the
+  // ensemble is untouched and the caller can fall back to the forecast.
   Tensor v;
   std::vector<double> w;
-  tensor::jacobi_eigh(a, v, w);
+  tensor::EighInfo info;
+  try {
+    tensor::jacobi_eigh(a, v, w, /*max_sweeps=*/50, &info);
+  } catch (const Error&) {
+    if (stats != nullptr) stats->solver_failures = 1;
+    return Status(StatusCode::kNonConvergent,
+                  "ETKF transform eigensolve did not converge (sweeps=" +
+                      std::to_string(info.sweeps) + ")");
+  }
 
   // wbar = A^{-1} C innov.
   std::vector<double> cd(m, 0.0), wbar(m, 0.0);
   for (std::size_t k = 0; k < m; ++k) {
     double s = 0.0;
-    for (std::size_t o = 0; o < p; ++o) s += c(k, o) * (y[o] - ybar[o]);
+    for (std::size_t o = 0; o < p; ++o) s += c(k, o) * innov[o];
     cd[k] = s;
   }
   for (std::size_t a_i = 0; a_i < m; ++a_i) {
@@ -106,6 +151,7 @@ void ETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOp
       }
     }
   }
+  return Status::Ok();
 }
 
 }  // namespace turbda::da

@@ -20,9 +20,22 @@ class ETKF final : public Filter {
   void analyze(Ensemble& ensemble, std::span<const double> y, const ObservationOperator& h,
                const DiagonalR& r) override;
 
+  /// Recoverable entry point: supports QC masks (masked observations carry
+  /// zero weight in R^{-1} — exact excision) and uniform R inflation; a
+  /// non-convergent transform eigensolve returns kNonConvergent with the
+  /// ensemble untouched (the transform is computed before any member is
+  /// written).
+  Status try_analyze(Ensemble& ensemble, std::span<const double> y,
+                     const ObservationOperator& h, const DiagonalR& r,
+                     const AnalysisOptions& opts = {}, AnalysisStats* stats = nullptr) override;
+
   [[nodiscard]] std::string name() const override { return "ETKF"; }
 
  private:
+  Status analyze_impl(Ensemble& ensemble, std::span<const double> y,
+                      const ObservationOperator& h, const DiagonalR& r,
+                      const AnalysisOptions& opts, AnalysisStats* stats);
+
   EtkfConfig cfg_;
 };
 

@@ -1,13 +1,44 @@
 // Common analysis-step interface implemented by EnSF, LETKF and ETKF.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/status.hpp"
 #include "da/ensemble.hpp"
 #include "da/observation.hpp"
 
 namespace turbda::da {
+
+/// Per-analysis knobs the quality-control layer threads into a filter
+/// without rebuilding the observation operator or R (both may be cached —
+/// LETKF keys its local-obs plan on them).
+struct AnalysisOptions {
+  /// Uniform observation-error variance inflation: every R diagonal entry is
+  /// treated as r_scale * var. The streaming runner uses this for
+  /// age-dependent inflation of stale batches (a batch k cycles old is
+  /// trusted less, not discarded). Must be >= 1.
+  double r_scale = 1.0;
+
+  /// Per-observation accept mask (1 = assimilate, 0 = excised by QC). Empty
+  /// means "use every observation". A masked observation contributes nothing
+  /// to the analysis — exactly equivalent to removing its row, implemented
+  /// as a zero weight in R^{-1} so cached network plans stay valid. Callers
+  /// must have replaced masked *values* with something finite (QC rewrites
+  /// them to the background) so no NaN/Inf can leak through arithmetic.
+  std::span<const std::uint8_t> obs_mask;
+};
+
+/// What actually happened inside one analysis call — the counters the
+/// degradation policy and the metrics CSV report.
+struct AnalysisStats {
+  std::size_t obs_total = 0;         ///< observation vector length
+  std::size_t obs_masked = 0;        ///< excluded by AnalysisOptions::obs_mask
+  std::size_t solver_failures = 0;   ///< local solves that did not converge
+  std::size_t fallback_columns = 0;  ///< state columns that kept the forecast
+};
 
 class Filter {
  public:
@@ -26,9 +57,46 @@ class Filter {
   }
 
   /// Transforms the forecast (prior) ensemble into the analysis (posterior)
-  /// ensemble given observations y with error model R.
+  /// ensemble given observations y with error model R. Throws turbda::Error
+  /// on contract violations and unrecoverable solver failures.
   virtual void analyze(Ensemble& ensemble, std::span<const double> y,
                        const ObservationOperator& h, const DiagonalR& r) = 0;
+
+  /// Recoverable-error entry point used by the streaming runner: like
+  /// analyze() but honoring QC options and reporting failure as a Status
+  /// instead of an exception, so the driver can degrade (forecast-only
+  /// cycle) rather than abort the run. Contract: when the returned Status is
+  /// not ok, the implementation either left the ensemble untouched or the
+  /// caller must restore it from its own backup — EnSF/ETKF/LETKF all
+  /// guarantee the former for their recoverable failures. The default
+  /// implementation supports only trivial options and maps turbda::Error
+  /// from analyze() into a Status.
+  virtual Status try_analyze(Ensemble& ensemble, std::span<const double> y,
+                             const ObservationOperator& h, const DiagonalR& r,
+                             const AnalysisOptions& opts = {}, AnalysisStats* stats = nullptr) {
+    if (stats != nullptr) *stats = AnalysisStats{.obs_total = y.size()};
+    if (opts.r_scale != 1.0 || !opts.obs_mask.empty())
+      return Status(StatusCode::kUnsupported,
+                    name() + ": r_scale / obs_mask analysis options not supported");
+    try {
+      analyze(ensemble, y, h, r);
+    } catch (const Error& e) {
+      return Status(StatusCode::kFailed, e.what());
+    }
+    return Status::Ok();
+  }
+
+  /// Checkpoint support: append any cross-cycle mutable state to `out`
+  /// (EnSF's cycle counter; stateless filters append nothing). Returns false
+  /// when the filter cannot be checkpointed.
+  virtual bool save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+    return true;
+  }
+
+  /// Restores state written by save_state(). `in` holds exactly the bytes
+  /// this filter appended. Returns false on malformed input.
+  virtual bool restore_state(std::span<const std::uint8_t> in) { return in.empty(); }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -25,6 +25,7 @@ LETKF::LETKF(LetkfConfig cfg) : cfg_(cfg) {
   TURBDA_REQUIRE(cfg_.cutoff_m > 0.0 && cfg_.domain_m > 0.0, "bad LETKF scales");
   TURBDA_REQUIRE(cfg_.rtps >= 0.0 && cfg_.rtps < 1.0, "RTPS factor must be in [0,1)");
   TURBDA_REQUIRE(cfg_.mult_inflation >= 1.0, "multiplicative inflation must be >= 1");
+  TURBDA_REQUIRE(cfg_.eigh_max_sweeps >= 1, "eigh_max_sweeps must be >= 1");
 }
 
 LETKF::~LETKF() = default;
@@ -329,12 +330,38 @@ void LETKF::prepare(const ObservationOperator& h, const DiagonalR& r) { (void)pl
 
 void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
                     const DiagonalR& r) {
+  const Status s = analyze_impl(ens, y, h, r, AnalysisOptions{}, nullptr);
+  TURBDA_REQUIRE(s.ok(), "LETKF analysis failed — " << s.to_string());
+}
+
+Status LETKF::try_analyze(Ensemble& ens, std::span<const double> y, const ObservationOperator& h,
+                          const DiagonalR& r, const AnalysisOptions& opts, AnalysisStats* stats) {
+  try {
+    return analyze_impl(ens, y, h, r, opts, stats);
+  } catch (const Error& e) {
+    return Status(StatusCode::kFailed, e.what());
+  }
+}
+
+Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
+                           const ObservationOperator& h, const DiagonalR& r,
+                           const AnalysisOptions& opts, AnalysisStats* stats) {
   const std::size_t m = ens.size();
   const std::size_t d = ens.dim();
   const std::size_t p = h.obs_dim();
   TURBDA_REQUIRE(d == cfg_.nx * cfg_.ny * cfg_.n_levels,
                  "LETKF: state dim inconsistent with configured grid");
   TURBDA_REQUIRE(y.size() == p && r.dim() == p, "LETKF: obs dim mismatch");
+  TURBDA_REQUIRE(opts.r_scale >= 1.0, "LETKF: r_scale must be >= 1");
+  TURBDA_REQUIRE(opts.obs_mask.empty() || opts.obs_mask.size() == p,
+                 "LETKF: obs_mask size mismatch");
+  const std::uint8_t* mask = opts.obs_mask.empty() ? nullptr : opts.obs_mask.data();
+  const double inv_r_scale = 1.0 / opts.r_scale;
+  if (stats != nullptr) {
+    *stats = AnalysisStats{.obs_total = p};
+    if (mask != nullptr)
+      for (std::size_t o = 0; o < p; ++o) stats->obs_masked += mask[o] ? 0 : 1;
+  }
 
   const bool tm = cfg_.collect_timings;
   WallTimer t_total;
@@ -375,7 +402,10 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
       for (std::size_t o = 0; o < p; ++o) ybar[o] += row[o];
     }
     for (double& v : ybar) v /= static_cast<double>(m);
-    for (std::size_t o = 0; o < p; ++o) innov[o] = y[o] - ybar[o];
+    // Masked innovations are pinned to 0, never computed: a QC-excised raw
+    // value may be non-finite and 0 * NaN would poison the weighted sums.
+    for (std::size_t o = 0; o < p; ++o)
+      innov[o] = (mask != nullptr && mask[o] == 0) ? 0.0 : y[o] - ybar[o];
     parallel::parallel_for(
         p,
         [&](std::size_t b, std::size_t e) {
@@ -392,6 +422,8 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
   const double sqm1 = std::sqrt(static_cast<double>(m - 1));
   const std::size_t n_groups = plan.n_groups();
   std::mutex tm_mu;
+  std::mutex stats_mu;
+  std::size_t solver_failures = 0, fallback_columns = 0;
 
   // One chunk = one worker's contiguous range of groups, with chunk-local
   // scratch. Each group solves its local problem once on the
@@ -409,6 +441,7 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
     std::vector<double> vT(m * m), usT(m * m), wmat(m * m);
     LetkfTimings pt;
     WallTimer ph;
+    std::size_t loc_failures = 0, loc_fallback_cols = 0;
 
     for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
       const std::uint32_t* cols = plan.group_cols.data() + plan.group_off[gr];
@@ -456,8 +489,14 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
       for (std::size_t o = 0; o < pl; ++o) {
         const auto oidx = static_cast<std::size_t>(sidx[o]);
         std::memcpy(&yT[o * m], &yensT(oidx, 0), m * sizeof(double));
-        dk.scale(&yTw[o * m], &yT[o * m], m, sw[o]);
-        wi[o] = sw[o] * innov[oidx];
+        // QC enters here rather than in the plan: the effective weight of a
+        // masked observation is 0 (exact excision) and r_scale uniformly
+        // deflates R^{-1}, so the cached network plan stays valid. With
+        // default options w_eff == sw[o] bitwise (inv_r_scale is exactly 1).
+        const double w_eff =
+            (mask != nullptr && mask[oidx] == 0) ? 0.0 : sw[o] * inv_r_scale;
+        dk.scale(&yTw[o * m], &yT[o * m], m, w_eff);
+        wi[o] = w_eff * innov[oidx];
       }
       if (tm) pt.gather_ms += ph.milliseconds();
 
@@ -473,9 +512,28 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
       }
       if (tm) pt.gram_ms += ph.milliseconds();
 
+      // A non-convergent local solve never crosses a thread boundary as an
+      // exception: with fallback enabled the group keeps its forecast and
+      // cycling continues; otherwise the rethrow is marshalled by
+      // parallel_for to the calling thread, and xaT is simply discarded.
       if (tm) ph.reset();
-      tensor::jacobi_eigh(amat, vmat, evals);
+      bool solved = true;
+      try {
+        tensor::jacobi_eigh(amat, vmat, evals, cfg_.eigh_max_sweeps);
+      } catch (const Error&) {
+        if (!cfg_.eigh_fallback) throw;
+        solved = false;
+      }
       if (tm) pt.eigh_ms += ph.milliseconds();
+      if (!solved) {
+        ++loc_failures;
+        loc_fallback_cols += ncols;
+        for (std::size_t ci = 0; ci < ncols; ++ci) {
+          const std::size_t g = cols[ci];
+          dk.scale_shift(&xaT(g, 0), &xbT(g, 0), m, 1.0, xbar[g]);
+        }
+        continue;
+      }
 
       // Ensemble-space weights: wbar = V diag(1/l) V^T C innov and
       // wmat(k, i) = (V wbar)_k + sqrt(m-1) sum_a V(k,a) V(i,a) / sqrt(l_a).
@@ -514,6 +572,11 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
       if (tm) pt.combine_ms += ph.milliseconds();
     }
 
+    if (loc_failures != 0) {
+      const std::lock_guard<std::mutex> lock(stats_mu);
+      solver_failures += loc_failures;
+      fallback_columns += loc_fallback_cols;
+    }
     if (tm) {
       const std::lock_guard<std::mutex> lock(tm_mu);
       timings_.select_ms += pt.select_ms;
@@ -525,8 +588,17 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
     }
   };
 
-  parallel::parallel_for(n_groups, solve_groups, std::max<std::size_t>(1, cfg_.nx / 2),
-                         cfg_.n_threads);
+  try {
+    parallel::parallel_for(n_groups, solve_groups, std::max<std::size_t>(1, cfg_.nx / 2),
+                           cfg_.n_threads);
+  } catch (const Error& e) {
+    // eigh_fallback == false: the whole analysis fails, ensemble untouched.
+    return Status(StatusCode::kNonConvergent, e.what());
+  }
+  if (stats != nullptr) {
+    stats->solver_failures = solver_failures;
+    stats->fallback_columns = fallback_columns;
+  }
 
   // Write the analysis back member-major.
   parallel::parallel_for(
@@ -559,6 +631,7 @@ void LETKF::analyze(Ensemble& ens, std::span<const double> y, const ObservationO
     timings_.columns += d;
     timings_.groups += n_groups;
   }
+  return Status::Ok();
 }
 
 }  // namespace turbda::da

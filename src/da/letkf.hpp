@@ -60,6 +60,15 @@ struct LetkfConfig {
   /// Accumulate per-phase wall times into timings() (bench support; off by
   /// default — the clock calls are pure overhead in production runs).
   bool collect_timings = false;
+
+  /// Sweep budget for the per-group symmetric eigensolves.
+  int eigh_max_sweeps = 50;
+
+  /// When a local eigensolve exhausts its sweep budget: true keeps the
+  /// forecast for that group's columns (counted in AnalysisStats) and the
+  /// analysis continues; false rethrows the solver error on the calling
+  /// thread — the whole analysis fails and the ensemble is left untouched.
+  bool eigh_fallback = true;
 };
 
 /// Cumulative per-phase wall-clock breakdown of analyze() (see
@@ -93,6 +102,16 @@ class LETKF final : public Filter {
   void analyze(Ensemble& ensemble, std::span<const double> y, const ObservationOperator& h,
                const DiagonalR& r) override;
 
+  /// Recoverable entry point. QC options are applied at gather time — the
+  /// localization weight of a masked observation becomes 0 and every weight
+  /// is divided by r_scale — so the cached network plan stays valid. A local
+  /// eigensolve failure degrades per the eigh_fallback policy; with fallback
+  /// disabled the Status is non-ok and the ensemble is untouched (the
+  /// analysis buffer is only written back after every group solved).
+  Status try_analyze(Ensemble& ensemble, std::span<const double> y,
+                     const ObservationOperator& h, const DiagonalR& r,
+                     const AnalysisOptions& opts = {}, AnalysisStats* stats = nullptr) override;
+
   [[nodiscard]] std::string name() const override { return "LETKF"; }
 
   [[nodiscard]] const LetkfConfig& config() const { return cfg_; }
@@ -106,6 +125,10 @@ class LETKF final : public Filter {
 
  private:
   struct Plan;
+
+  Status analyze_impl(Ensemble& ensemble, std::span<const double> y,
+                      const ObservationOperator& h, const DiagonalR& r,
+                      const AnalysisOptions& opts, AnalysisStats* stats);
 
   /// Returns the cached plan if it matches (h, r), else builds a fresh one.
   const Plan& plan_for(const ObservationOperator& h, const DiagonalR& r);

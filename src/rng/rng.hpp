@@ -4,7 +4,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <span>
+#include <vector>
 
 #include "common/math_utils.hpp"
 #include "rng/philox.hpp"
@@ -99,6 +101,62 @@ class Rng {
       const std::size_t j = static_cast<std::size_t>(uniform_int(i));
       std::swap(v[i - 1], v[j]);
     }
+  }
+
+  /// Exact serialized size of the generator state (checkpoint/restart).
+  static constexpr std::size_t kStateBytes =
+      2 * sizeof(std::uint32_t) +  // key
+      4 * sizeof(std::uint32_t) +  // counter
+      4 * sizeof(std::uint32_t) +  // output buffer
+      sizeof(std::int32_t) +       // buffer position
+      sizeof(double) +             // cached Box–Muller value
+      1;                           // have_cached flag
+
+  /// Appends the complete generator state (key, counter, buffered outputs,
+  /// cached Gaussian) to `out`; restoring it with load_state() continues the
+  /// stream bitwise from this exact point.
+  void save_state(std::vector<std::uint8_t>& out) const {
+    const auto put_u32 = [&](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    for (std::uint32_t v : key_) put_u32(v);
+    for (std::uint32_t v : ctr_) put_u32(v);
+    for (std::uint32_t v : buf_) put_u32(v);
+    put_u32(static_cast<std::uint32_t>(buf_pos_));
+    std::uint64_t bits;
+    std::memcpy(&bits, &cached_, sizeof(bits));
+    put_u32(static_cast<std::uint32_t>(bits));
+    put_u32(static_cast<std::uint32_t>(bits >> 32));
+    out.push_back(have_cached_ ? 1 : 0);
+  }
+
+  /// Restores state written by save_state(). Returns false (leaving the
+  /// generator untouched) when `in` is not exactly kStateBytes long or the
+  /// decoded buffer position is out of range.
+  bool load_state(std::span<const std::uint8_t> in) {
+    if (in.size() != kStateBytes) return false;
+    std::size_t at = 0;
+    const auto get_u32 = [&] {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[at++]) << (8 * i);
+      return v;
+    };
+    Philox4x32::Key key;
+    Philox4x32::Counter ctr, buf;
+    for (auto& v : key) v = get_u32();
+    for (auto& v : ctr) v = get_u32();
+    for (auto& v : buf) v = get_u32();
+    const auto pos = static_cast<std::int32_t>(get_u32());
+    if (pos < 0 || pos > 4) return false;
+    std::uint64_t bits = get_u32();
+    bits |= static_cast<std::uint64_t>(get_u32()) << 32;
+    key_ = key;
+    ctr_ = ctr;
+    buf_ = buf;
+    buf_pos_ = pos;
+    std::memcpy(&cached_, &bits, sizeof(cached_));
+    have_cached_ = in[at] != 0;
+    return true;
   }
 
  private:

@@ -1,0 +1,63 @@
+// Versioned, integrity-checked snapshots of a cycling run.
+//
+// A real-time assimilation service must survive being killed: the snapshot
+// captures everything the RealtimeRunner needs to continue *bitwise
+// identically* — the ensemble, the cycle index, the overlapped schedule's
+// staged analysis buffers, the duplicate-batch guard, the stream's
+// undelivered queue and truth ring, the filter's cross-cycle state and the
+// metrics rows already produced. The file format is little-endian with a
+// magic tag, a format version and a CRC-32 trailer over the payload, so a
+// truncated, corrupted or future-format file is *refused* with a precise
+// Status instead of silently resuming from garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "stream/realtime_runner.hpp"
+
+namespace turbda::stream {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4B434454u;  // "TDCK" LE
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Everything a snapshot holds. The config echo fields let resume() refuse a
+/// checkpoint taken under a different setup instead of diverging silently.
+struct CheckpointData {
+  // Config echo.
+  std::uint64_t seed = 0;
+  std::uint64_t n_members = 0;
+  std::uint64_t dim = 0;
+  std::int32_t cycles = 0;
+  std::uint8_t schedule = 0;  ///< static_cast<uint8_t>(Schedule)
+
+  std::int32_t next_cycle = 0;  ///< first cycle the resumed run executes
+
+  std::vector<std::uint8_t> rng_modelerr;  ///< Rng::kStateBytes
+  std::vector<double> ensemble;            ///< n_members * dim, member-major
+
+  // Overlapped schedule: staged analysis buffers (empty unless
+  // have_increment).
+  std::uint8_t have_increment = 0;
+  std::vector<double> buf_prior, buf_post;
+
+  std::vector<std::uint8_t> applied;  ///< per-window duplicate guard, size cycles
+  std::vector<std::uint8_t> stream_state;
+  std::vector<std::uint8_t> filter_state;
+  std::vector<StreamCycleMetrics> metrics;  ///< rows already produced
+};
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) over `data` — exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Atomically-ordered write: serialize, then emit header + payload + CRC in
+/// one stream. Returns kIoError when the file cannot be written.
+[[nodiscard]] Status save_checkpoint(const std::string& path, const CheckpointData& data);
+
+/// Validates magic, version, length and CRC before decoding; on any failure
+/// returns a non-ok Status and leaves `data` unspecified.
+[[nodiscard]] Status load_checkpoint(const std::string& path, CheckpointData& data);
+
+}  // namespace turbda::stream

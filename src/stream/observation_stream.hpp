@@ -17,6 +17,7 @@
 // driver), never as an input to control flow.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -72,6 +73,24 @@ class ObservationStream {
   /// driver that stays within truth_buffer - 1 cycles of the producer is
   /// safe; do not hold the span across an unbounded producer run-ahead).
   [[nodiscard]] virtual std::span<const double> truth(int /*cycle*/) const { return {}; }
+
+  /// Checkpoint support: append the stream's mutable state (producer
+  /// counters, undelivered batches, truth buffer) to `out` so a restored
+  /// stream replays the exact same deliveries. Returns false when the stream
+  /// cannot be checkpointed (e.g. a live network source) — the checkpoint
+  /// writer then refuses rather than silently snapshotting half a pipeline.
+  virtual bool save_state(std::vector<std::uint8_t>& out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Restores state written by save_state(); `in` holds exactly the bytes
+  /// this stream appended. Returns false on malformed input, leaving the
+  /// stream unspecified (callers abandon it on failure).
+  virtual bool restore_state(std::span<const std::uint8_t> in) {
+    (void)in;
+    return false;
+  }
 };
 
 }  // namespace turbda::stream

@@ -9,6 +9,7 @@
 #include "common/check.hpp"
 #include "io/csv.hpp"
 #include "parallel/thread_pool.hpp"
+#include "stream/checkpoint.hpp"
 
 namespace turbda::stream {
 
@@ -44,6 +45,10 @@ RealtimeRunner::RealtimeRunner(RealtimeConfig cfg, ObservationStream& stream,
   TURBDA_REQUIRE(cfg_.cycles >= 1 && cfg_.n_members >= 2, "bad realtime configuration");
   TURBDA_REQUIRE(cfg_.deadline_slack_cycles >= 0.0 && cfg_.max_stale_cycles >= 0,
                  "bad deadline configuration");
+  TURBDA_REQUIRE(cfg_.spread_floor >= 0.0 && cfg_.spread_ceiling >= 0.0 &&
+                     (cfg_.spread_ceiling == 0.0 || cfg_.spread_floor < cfg_.spread_ceiling),
+                 "bad spread-watchdog configuration");
+  TURBDA_REQUIRE(cfg_.checkpoint_every >= 0, "bad checkpoint configuration");
   if (cfg_.inject_model_error)
     TURBDA_REQUIRE(model_error_ != nullptr,
                    "inject_model_error requires a ModelErrorProcess instance");
@@ -102,6 +107,10 @@ void RealtimeRunner::discard_unconsumed(int cycle) {
 }
 
 RealtimeRunner::CollectResult RealtimeRunner::collect_batches(int cycle) {
+  // With age-dependent R inflation active, staleness no longer discards: a
+  // late batch is assimilated with R inflated by its age instead (QC fills
+  // in the factor), so information is down-weighted rather than thrown away.
+  const bool stale_inflation = cfg_.qc.enabled && cfg_.qc.stale_r_inflation > 0.0;
   CollectResult res;
   std::vector<ObsBatch> arrived;
   stream_.collect(static_cast<double>(cycle + 1) + cfg_.deadline_slack_cycles, arrived);
@@ -111,7 +120,7 @@ RealtimeRunner::CollectResult RealtimeRunner::collect_batches(int cycle) {
       res.own_on_time = true;
       res.own_arrival = b.arrival_cycles;
       res.apply.push_back(std::move(b));
-    } else if (cfg_.catch_up && age <= cfg_.max_stale_cycles) {
+    } else if (cfg_.catch_up && (age <= cfg_.max_stale_cycles || stale_inflation)) {
       res.apply.push_back(std::move(b));
     } else {
       ++res.discarded;
@@ -131,6 +140,132 @@ void RealtimeRunner::emulate_delivery_delay(const std::vector<ObsBatch>& batches
       std::chrono::duration<double, std::milli>(delay_cycles * cfg_.wall_ms_per_cycle));
 }
 
+void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBatch>& batches,
+                                        int cycle, StreamCycleMetrics& cm) {
+  if (batches.empty()) return;
+  emulate_delivery_delay(batches, cycle);
+  const auto t_an = Clock::now();
+  std::vector<std::uint8_t> mask;
+  for (auto& b : batches) {
+    // Duplicate-transmission guard: each observing window is applied once.
+    if (b.cycle >= 0 && b.cycle < cfg_.cycles && applied_[static_cast<std::size_t>(b.cycle)]) {
+      ++cm.batches_rejected;
+      continue;
+    }
+    // A batch with the wrong shape (e.g. truncated in transmission) is
+    // refused outright — a later duplicate transmission can still recover it.
+    if (b.y.size() != stream_.obs_dim()) {
+      ++cm.batches_rejected;
+      cm.degraded = true;
+      continue;
+    }
+    const int age = std::max(cycle - b.cycle, 0);
+    da::AnalysisOptions opts;
+    if (cfg_.qc.enabled) {
+      const da::QcReport rep =
+          da::apply_quality_control(cfg_.qc, b.y, stream_.h(), stream_.r(), target,
+                                    static_cast<std::size_t>(age), mask);
+      cm.obs_rejected += static_cast<int>(rep.rejected_total());
+      cm.max_r_scale = std::max(cm.max_r_scale, rep.r_scale);
+      opts.r_scale = rep.r_scale;
+      if (rep.rejected_total() > 0) opts.obs_mask = mask;
+    }
+    da::AnalysisStats st;
+    const Status s = filter_->try_analyze(target, b.y, stream_.h(), stream_.r(), opts, &st);
+    if (!s.ok()) {
+      // Graceful degradation: the filters leave the ensemble untouched on a
+      // recoverable failure, so this cycle simply keeps its forecast.
+      TURBDA_REQUIRE(cfg_.degrade_on_failure, "analysis failed — " << s.to_string());
+      ++cm.analysis_failures;
+      cm.degraded = true;
+      continue;
+    }
+    cm.solver_fallbacks += static_cast<int>(st.fallback_columns);
+    if (st.solver_failures > 0) cm.degraded = true;
+    if (b.cycle >= 0 && b.cycle < cfg_.cycles) applied_[static_cast<std::size_t>(b.cycle)] = 1;
+    ++cm.batches_assimilated;
+    cm.max_batch_age = std::max(cm.max_batch_age, cycle - b.cycle);
+  }
+  cm.analysis_ms = ms_since(t_an);
+  apply_spread_guard(target, cycle, cm);
+}
+
+void RealtimeRunner::apply_spread_guard(da::Ensemble& target, int cycle, StreamCycleMetrics& cm) {
+  if (cfg_.spread_floor <= 0.0 && cfg_.spread_ceiling <= 0.0) return;
+  const double sp = target.mean_spread();
+  const auto rescale = [&](double scale) {
+    const auto mu = target.mean();
+    for (std::size_t m = 0; m < target.size(); ++m) {
+      auto row = target.member(m);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] = mu[i] + (row[i] - mu[i]) * scale;
+    }
+  };
+  if (cfg_.spread_floor > 0.0 && sp < cfg_.spread_floor) {
+    ++cm.spread_recoveries;
+    cm.degraded = true;
+    if (sp <= 1e-12 * cfg_.spread_floor) {
+      // Fully collapsed: rescaling cannot recover a zero perturbation, so
+      // re-seed the members around the mean from a cycle-keyed substream
+      // (serial draw — bitwise invariant to thread count).
+      rng::Rng rg = rng_spread_->substream(static_cast<std::uint64_t>(cycle));
+      const auto mu = target.mean();
+      for (std::size_t m = 0; m < target.size(); ++m) {
+        auto row = target.member(m);
+        for (std::size_t i = 0; i < row.size(); ++i)
+          row[i] = mu[i] + cfg_.spread_floor * rg.gaussian();
+      }
+    } else {
+      rescale(cfg_.spread_floor / sp);
+    }
+  } else if (cfg_.spread_ceiling > 0.0 && sp > cfg_.spread_ceiling) {
+    ++cm.spread_recoveries;
+    cm.degraded = true;
+    rescale(cfg_.spread_ceiling / sp);
+  }
+}
+
+void RealtimeRunner::maybe_checkpoint(int completed_cycle,
+                                      const std::vector<StreamCycleMetrics>& metrics) {
+  if (cfg_.checkpoint_path.empty() || cfg_.checkpoint_every <= 0) return;
+  const int next = completed_cycle + 1;
+  if (next >= cfg_.cycles) return;  // nothing left to resume
+  if (next % cfg_.checkpoint_every != 0) return;
+
+  const std::size_t d = forecast_model_.dim();
+  CheckpointData data;
+  data.seed = cfg_.seed;
+  data.n_members = cfg_.n_members;
+  data.dim = d;
+  data.cycles = cfg_.cycles;
+  data.schedule = static_cast<std::uint8_t>(cfg_.schedule);
+  data.next_cycle = next;
+  rng_modelerr_->save_state(data.rng_modelerr);
+  const double* ep = ens_->data().data();
+  data.ensemble.assign(ep, ep + cfg_.n_members * d);
+  if (have_increment_) {
+    data.have_increment = 1;
+    const double* pp = buf_prior_->data().data();
+    const double* qp = buf_post_->data().data();
+    data.buf_prior.assign(pp, pp + cfg_.n_members * d);
+    data.buf_post.assign(qp, qp + cfg_.n_members * d);
+  }
+  data.applied = applied_;
+  if (!stream_.save_state(data.stream_state)) {
+    checkpoint_status_ =
+        Status(StatusCode::kUnsupported, "stream does not support checkpointing");
+    return;
+  }
+  if (filter_ != nullptr && !filter_->save_state(data.filter_state)) {
+    checkpoint_status_ =
+        Status(StatusCode::kUnsupported, "filter does not support checkpointing");
+    return;
+  }
+  data.metrics = metrics;
+  // A failed snapshot write must never take down the service it protects:
+  // record the Status and keep cycling.
+  checkpoint_status_ = save_checkpoint(cfg_.checkpoint_path, data);
+}
+
 std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base,
                                                     const da::Ensemble* initial_ensemble) {
   const std::size_t d = forecast_model_.dim();
@@ -139,6 +274,12 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base
   rng::Rng root(cfg_.seed);
   rng::Rng rng_init = root.substream(0);
   rng_modelerr_ = root.substream(2);
+  rng_spread_ = root.substream(4);
+  applied_.assign(static_cast<std::size_t>(cfg_.cycles), 0);
+  buf_prior_.reset();
+  buf_post_.reset();
+  have_increment_ = false;
+  checkpoint_status_ = Status::Ok();
 
   ens_.emplace(cfg_.n_members, d);
   if (initial_ensemble != nullptr) {
@@ -154,14 +295,68 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base
   // stream's network is known up front and stays fixed across cycles.
   if (filter_ != nullptr) filter_->prepare(stream_.h(), stream_.r());
 
-  return cfg_.schedule == Schedule::Serial ? run_serial() : run_overlapped();
+  std::vector<StreamCycleMetrics> metrics;
+  if (cfg_.schedule == Schedule::Serial)
+    run_serial(0, metrics);
+  else
+    run_overlapped(0, metrics);
+  return metrics;
 }
 
-std::vector<StreamCycleMetrics> RealtimeRunner::run_serial() {
-  std::vector<StreamCycleMetrics> metrics;
+Status RealtimeRunner::resume(const std::string& path,
+                              std::vector<StreamCycleMetrics>& metrics_out) {
+  CheckpointData data;
+  const Status s = load_checkpoint(path, data);
+  if (!s.ok()) return s;
+
+  const std::size_t d = forecast_model_.dim();
+  if (data.seed != cfg_.seed || data.n_members != cfg_.n_members || data.dim != d ||
+      data.cycles != cfg_.cycles || data.schedule != static_cast<std::uint8_t>(cfg_.schedule))
+    return Status(StatusCode::kInvalidArgument,
+                  "checkpoint was written under a different configuration");
+  if (data.next_cycle <= 0 || data.next_cycle >= cfg_.cycles)
+    return Status(StatusCode::kCorruptData, "checkpoint cycle index out of range");
+  if (data.applied.size() != static_cast<std::size_t>(cfg_.cycles))
+    return Status(StatusCode::kCorruptData, "checkpoint duplicate-guard size mismatch");
+  if (!stream_.restore_state(data.stream_state))
+    return Status(StatusCode::kCorruptData, "stream state in checkpoint is malformed");
+  if (filter_ != nullptr && !filter_->restore_state(data.filter_state))
+    return Status(StatusCode::kCorruptData, "filter state in checkpoint is malformed");
+
+  rng::Rng root(cfg_.seed);
+  rng_modelerr_ = root.substream(2);
+  rng_spread_ = root.substream(4);
+  if (!data.rng_modelerr.empty() && !rng_modelerr_->load_state(data.rng_modelerr))
+    return Status(StatusCode::kCorruptData, "RNG state in checkpoint is malformed");
+  checkpoint_status_ = Status::Ok();
+
+  ens_.emplace(cfg_.n_members, d);
+  std::copy(data.ensemble.begin(), data.ensemble.end(), ens_->data().data());
+  applied_ = std::move(data.applied);
+  have_increment_ = data.have_increment != 0;
+  buf_prior_.reset();
+  buf_post_.reset();
+  if (have_increment_) {
+    buf_prior_.emplace(cfg_.n_members, d);
+    buf_post_.emplace(cfg_.n_members, d);
+    std::copy(data.buf_prior.begin(), data.buf_prior.end(), buf_prior_->data().data());
+    std::copy(data.buf_post.begin(), data.buf_post.end(), buf_post_->data().data());
+  }
+
+  if (filter_ != nullptr) filter_->prepare(stream_.h(), stream_.r());
+
+  metrics_out = std::move(data.metrics);
+  if (cfg_.schedule == Schedule::Serial)
+    run_serial(data.next_cycle, metrics_out);
+  else
+    run_overlapped(data.next_cycle, metrics_out);
+  return Status::Ok();
+}
+
+void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>& metrics) {
   metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
 
-  for (int k = 0; k < cfg_.cycles; ++k) {
+  for (int k = start_cycle; k < cfg_.cycles; ++k) {
     const auto t_cycle = Clock::now();
     StreamCycleMetrics cm;
     cm.cycle = k;
@@ -183,16 +378,7 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_serial() {
       cm.deadline_miss = !col.own_on_time;
       cm.obs_arrival_cycles = col.own_arrival;
       cm.batches_discarded = col.discarded;
-      if (!col.apply.empty()) {
-        emulate_delivery_delay(col.apply, k);
-        const auto t_an = Clock::now();
-        for (const auto& b : col.apply) {
-          filter_->analyze(*ens_, b.y, stream_.h(), stream_.r());
-          ++cm.batches_assimilated;
-          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
-        }
-        cm.analysis_ms = ms_since(t_an);
-      }
+      assimilate_batches(*ens_, col.apply, k, cm);
     } else {
       discard_unconsumed(k);
     }
@@ -205,27 +391,29 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_serial() {
       const auto mean = ens_->mean();
       hook_(k, mean);
     }
+    maybe_checkpoint(k, metrics);
   }
-  return metrics;
 }
 
-std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
+void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetrics>& metrics) {
   auto& pool = parallel::global_pool();
-  std::vector<StreamCycleMetrics> metrics;
   metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
 
   // Prologue: nothing to overlap with yet — produce and forecast window 0.
-  stream_.produce(0);
-  forecast_members(0);
+  // A resumed run restored the pipeline mid-flight (ensemble already
+  // forecast through start_cycle, stream produced through start_cycle) and
+  // skips it.
+  if (start_cycle == 0) {
+    stream_.produce(0);
+    forecast_members(0);
+    have_increment_ = false;
+  }
 
   // Double buffer: the analysis for cycle k runs on a copy while the
   // ensemble itself forecasts ahead; the increment lands one cycle later.
   // Allocated once on first use, reused (assignment keeps capacity) so the
   // hot loop stays allocation-free after warm-up.
-  std::optional<da::Ensemble> buf_prior, buf_post;
-  bool have_increment = false;
-
-  for (int k = 0; k < cfg_.cycles; ++k) {
+  for (int k = start_cycle; k < cfg_.cycles; ++k) {
     const auto t_cycle = Clock::now();
     StreamCycleMetrics cm;
     cm.cycle = k;
@@ -237,14 +425,14 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
     cm.spread_prior = ens_->mean_spread();
 
     // Apply the lagged increment from cycle k-1's analysis.
-    if (have_increment) {
+    if (have_increment_) {
       for (std::size_t m = 0; m < cfg_.n_members; ++m) {
         auto row = ens_->member(m);
-        const auto post = buf_post->member(m);
-        const auto prior = buf_prior->member(m);
+        const auto post = buf_post_->member(m);
+        const auto prior = buf_prior_->member(m);
         for (std::size_t i = 0; i < row.size(); ++i) row[i] += post[i] - prior[i];
       }
-      have_increment = false;
+      have_increment_ = false;
     }
 
     CollectResult col;
@@ -260,16 +448,7 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
     const bool last = (k + 1 == cfg_.cycles);
     if (last) {
       // Drain synchronously so the final ensemble reflects every batch.
-      if (!col.apply.empty()) {
-        emulate_delivery_delay(col.apply, k);
-        const auto t_an = Clock::now();
-        for (const auto& b : col.apply) {
-          filter_->analyze(*ens_, b.y, stream_.h(), stream_.r());
-          ++cm.batches_assimilated;
-          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
-        }
-        cm.analysis_ms = ms_since(t_an);
-      }
+      assimilate_batches(*ens_, col.apply, k, cm);
       cm.rmse_post = rmse_vs_truth(*ens_, truth);
       cm.spread_post = ens_->mean_spread();
       cm.cycle_ms = ms_since(t_cycle);
@@ -293,12 +472,12 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
     // Stage this cycle's analysis on the side buffer...
     const bool staged = !col.apply.empty();
     if (staged) {
-      if (buf_prior.has_value()) {
-        buf_prior->data() = ens_->data();
-        buf_post->data() = ens_->data();
+      if (buf_prior_.has_value()) {
+        buf_prior_->data() = ens_->data();
+        buf_post_->data() = ens_->data();
       } else {
-        buf_prior.emplace(*ens_);
-        buf_post.emplace(*ens_);
+        buf_prior_.emplace(*ens_);
+        buf_post_.emplace(*ens_);
       }
     }
 
@@ -328,14 +507,7 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
     std::exception_ptr err;
     if (staged) {
       try {
-        emulate_delivery_delay(col.apply, k);
-        const auto t_an = Clock::now();
-        for (const auto& b : col.apply) {
-          filter_->analyze(*buf_post, b.y, stream_.h(), stream_.r());
-          ++cm.batches_assimilated;
-          cm.max_batch_age = std::max(cm.max_batch_age, k - b.cycle);
-        }
-        cm.analysis_ms = ms_since(t_an);
+        assimilate_batches(*buf_post_, col.apply, k, cm);
       } catch (...) {
         err = std::current_exception();
       }
@@ -348,13 +520,13 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run_overlapped() {
       }
     }
     if (err) std::rethrow_exception(err);
-    have_increment = staged;
+    have_increment_ = staged;
 
     cm.forecast_ms = ms_since(t_fcst);
     cm.cycle_ms = ms_since(t_cycle);
     metrics.push_back(cm);
+    maybe_checkpoint(k, metrics);
   }
-  return metrics;
 }
 
 void write_stream_metrics_csv(const std::string& path,
@@ -362,13 +534,18 @@ void write_stream_metrics_csv(const std::string& path,
   io::CsvWriter csv(path, {"cycle", "time_hours", "rmse_prior", "rmse_post", "spread_prior",
                            "spread_post", "batches_assimilated", "batches_discarded",
                            "max_batch_age", "deadline_miss", "obs_arrival_cycles",
-                           "forecast_ms", "analysis_ms", "cycle_ms"});
+                           "obs_rejected", "batches_rejected", "max_r_scale",
+                           "analysis_failures", "solver_fallbacks", "spread_recoveries",
+                           "degraded", "forecast_ms", "analysis_ms", "cycle_ms"});
   for (const auto& m : metrics) {
     csv.row({static_cast<double>(m.cycle), m.time_hours, m.rmse_prior, m.rmse_post,
              m.spread_prior, m.spread_post, static_cast<double>(m.batches_assimilated),
              static_cast<double>(m.batches_discarded), static_cast<double>(m.max_batch_age),
-             m.deadline_miss ? 1.0 : 0.0, m.obs_arrival_cycles, m.forecast_ms, m.analysis_ms,
-             m.cycle_ms});
+             m.deadline_miss ? 1.0 : 0.0, m.obs_arrival_cycles,
+             static_cast<double>(m.obs_rejected), static_cast<double>(m.batches_rejected),
+             m.max_r_scale, static_cast<double>(m.analysis_failures),
+             static_cast<double>(m.solver_fallbacks), static_cast<double>(m.spread_recoveries),
+             m.degraded ? 1.0 : 0.0, m.forecast_ms, m.analysis_ms, m.cycle_ms});
   }
 }
 

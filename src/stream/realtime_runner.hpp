@@ -38,6 +38,7 @@
 
 #include "da/ensemble.hpp"
 #include "da/filter.hpp"
+#include "da/quality_control.hpp"
 #include "models/forecast_model.hpp"
 #include "models/model_error.hpp"
 #include "stream/observation_stream.hpp"
@@ -74,6 +75,33 @@ struct RealtimeConfig {
   /// the forecast, as a real sensor link would impose. Purely a timing
   /// emulation — results are bitwise identical with it on or off.
   double wall_ms_per_cycle = 0.0;
+
+  // ---- Fault tolerance ----------------------------------------------------
+
+  /// Pre-analysis observation QC (finite / climatological-range /
+  /// background-departure gates + age-dependent R inflation). When
+  /// qc.stale_r_inflation > 0, the hard staleness discard above is replaced
+  /// by inflation: every catch-up batch is assimilated with its R scaled by
+  /// age, however old.
+  da::QcConfig qc;
+
+  /// When an analysis fails recoverably (e.g. non-convergent transform), keep
+  /// the forecast for that cycle and record the degradation instead of
+  /// aborting the run. false restores the old throw-on-failure behavior.
+  bool degrade_on_failure = true;
+
+  /// Ensemble-spread watchdog, checked after each cycle's update (0 = off).
+  /// Below the floor the perturbations are re-inflated (collapse recovery,
+  /// with a deterministic re-seeding when the ensemble is fully degenerate);
+  /// above the ceiling they are contracted (divergence recovery).
+  double spread_floor = 0.0;
+  double spread_ceiling = 0.0;
+
+  /// Snapshot the run to this file every checkpoint_every cycles (both must
+  /// be set). A failed write never aborts the run — see
+  /// RealtimeRunner::last_checkpoint_status().
+  std::string checkpoint_path;
+  int checkpoint_every = 0;
 };
 
 /// Per-cycle record: the OSSE accuracy metrics plus delivery/deadline and
@@ -91,6 +119,14 @@ struct StreamCycleMetrics {
   int max_batch_age = 0;        ///< oldest applied batch, in cycles
   bool deadline_miss = false;   ///< this window's own batch was late or lost
   double obs_arrival_cycles = -1.0;  ///< arrival stamp of this window's batch
+  // Fault-tolerance telemetry (virtual time, deterministic).
+  int obs_rejected = 0;        ///< observations excised by QC this cycle
+  int batches_rejected = 0;    ///< whole batches refused (duplicate/truncated)
+  double max_r_scale = 1.0;    ///< largest age-dependent R inflation applied
+  int analysis_failures = 0;   ///< try_analyze calls that returned non-ok
+  int solver_fallbacks = 0;    ///< state columns that kept the forecast
+  int spread_recoveries = 0;   ///< spread-watchdog interventions
+  bool degraded = false;       ///< any degradation happened this cycle
   // Wall-clock telemetry (measured, machine-dependent).
   double forecast_ms = 0.0;
   double analysis_ms = 0.0;
@@ -113,9 +149,22 @@ class RealtimeRunner {
   std::vector<StreamCycleMetrics> run(std::span<const double> base,
                                       const da::Ensemble* initial_ensemble = nullptr);
 
+  /// Resumes a run from a snapshot written by this configuration (validated
+  /// against the checkpoint's config echo; a mismatched or corrupt snapshot
+  /// returns a non-ok Status without touching any state). On success,
+  /// `metrics_out` holds the full per-cycle record — restored rows followed
+  /// by the freshly-run remainder — and the continuation is bitwise
+  /// identical to the uninterrupted run for any thread count. The stream
+  /// must be freshly constructed (same config as the original run); its
+  /// state is restored from the snapshot.
+  Status resume(const std::string& path, std::vector<StreamCycleMetrics>& metrics_out);
+
   void set_post_analysis_hook(CycleHook hook) { hook_ = std::move(hook); }
 
   [[nodiscard]] const da::Ensemble& ensemble() const;
+
+  /// Outcome of the most recent periodic snapshot write (ok before any).
+  [[nodiscard]] const Status& last_checkpoint_status() const { return checkpoint_status_; }
 
  private:
   struct CollectResult;
@@ -138,8 +187,18 @@ class RealtimeRunner {
   void discard_unconsumed(int cycle);
   void emulate_delivery_delay(const std::vector<ObsBatch>& batches, int cycle) const;
 
-  std::vector<StreamCycleMetrics> run_serial();
-  std::vector<StreamCycleMetrics> run_overlapped();
+  /// QC + duplicate/truncation guards + try_analyze + degradation + spread
+  /// watchdog for one cycle's batches, applied to `target` (the live
+  /// ensemble in Serial, the staged analysis buffer in Overlapped). The one
+  /// definition both schedules share, so fault handling cannot drift apart.
+  void assimilate_batches(da::Ensemble& target, std::vector<ObsBatch>& batches, int cycle,
+                          StreamCycleMetrics& cm);
+  void apply_spread_guard(da::Ensemble& target, int cycle, StreamCycleMetrics& cm);
+  /// Periodic snapshot at the end of cycle body `completed_cycle`.
+  void maybe_checkpoint(int completed_cycle, const std::vector<StreamCycleMetrics>& metrics);
+
+  void run_serial(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
+  void run_overlapped(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
 
   RealtimeConfig cfg_;
   ObservationStream& stream_;
@@ -149,6 +208,13 @@ class RealtimeRunner {
   CycleHook hook_;
   std::optional<da::Ensemble> ens_;
   std::optional<rng::Rng> rng_modelerr_;  ///< valid during run()
+  std::optional<rng::Rng> rng_spread_;    ///< spread-guard re-seeding noise
+  /// Duplicate guard: applied_[k] set once window k's batch is assimilated.
+  std::vector<std::uint8_t> applied_;
+  /// Overlapped double buffer (members so checkpoint/resume can reach them).
+  std::optional<da::Ensemble> buf_prior_, buf_post_;
+  bool have_increment_ = false;
+  Status checkpoint_status_;
 };
 
 /// Writes the per-cycle records as CSV (one row per cycle).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bytes.hpp"
 #include "common/check.hpp"
 
 namespace turbda::stream {
@@ -71,6 +72,60 @@ void SyntheticStream::collect(double now_cycles, std::vector<ObsBatch>& out) {
   // Stragglers assimilate before fresher batches: deliver in window order.
   std::sort(out.begin() + static_cast<long>(first), out.end(),
             [](const ObsBatch& a, const ObsBatch& b) { return a.cycle < b.cycle; });
+}
+
+bool SyntheticStream::save_state(std::vector<std::uint8_t>& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  bytes::put_f64_span(out, truth_);
+  bytes::put_i32(out, produced_);
+  bytes::put_i32(out, dropped_);
+  bytes::put_u64(out, pending_.size());
+  for (const ObsBatch& b : pending_) {
+    bytes::put_i32(out, b.cycle);
+    bytes::put_f64(out, b.valid_cycles);
+    bytes::put_f64(out, b.arrival_cycles);
+    bytes::put_f64_span(out, b.y);
+  }
+  bytes::put_u64(out, ring_.size());
+  for (const auto& [c, state] : ring_) {
+    bytes::put_i32(out, c);
+    bytes::put_f64_span(out, state);
+  }
+  return true;
+}
+
+bool SyntheticStream::restore_state(std::span<const std::uint8_t> in) {
+  bytes::Reader rd(in);
+  std::vector<double> truth;
+  if (!rd.f64_vec(truth) || truth.size() != truth_model_.dim()) return false;
+  const int produced = rd.i32();
+  const int dropped = rd.i32();
+  const std::uint64_t n_pending = rd.u64();
+  std::vector<ObsBatch> pending;
+  for (std::uint64_t i = 0; i < n_pending && rd.ok(); ++i) {
+    ObsBatch b;
+    b.cycle = rd.i32();
+    b.valid_cycles = rd.f64();
+    b.arrival_cycles = rd.f64();
+    if (!rd.f64_vec(b.y) || b.y.size() != h_.obs_dim()) return false;
+    pending.push_back(std::move(b));
+  }
+  const std::uint64_t n_ring = rd.u64();
+  std::deque<std::pair<int, std::vector<double>>> ring;
+  for (std::uint64_t i = 0; i < n_ring && rd.ok(); ++i) {
+    const int c = rd.i32();
+    std::vector<double> state;
+    if (!rd.f64_vec(state) || state.size() != truth_model_.dim()) return false;
+    ring.emplace_back(c, std::move(state));
+  }
+  if (!rd.done() || produced < 0 || dropped < 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  truth_ = std::move(truth);
+  produced_ = produced;
+  dropped_ = dropped;
+  pending_ = std::move(pending);
+  ring_ = std::move(ring);
+  return true;
 }
 
 std::span<const double> SyntheticStream::truth(int cycle) const {

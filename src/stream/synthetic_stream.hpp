@@ -64,6 +64,14 @@ class SyntheticStream final : public ObservationStream {
   [[nodiscard]] int batches_produced() const { return produced_; }
   [[nodiscard]] int batches_dropped() const { return dropped_; }
 
+  /// Checkpointing: the RNG substream families are consumed statelessly (one
+  /// derived stream per cycle), so the mutable state is just the truth
+  /// state, the undelivered queue, the truth ring and the counters. The
+  /// caller must reconstruct the stream with the same config / model /
+  /// operator before restoring.
+  bool save_state(std::vector<std::uint8_t>& out) const override;
+  bool restore_state(std::span<const std::uint8_t> in) override;
+
  private:
   SyntheticStreamConfig cfg_;
   models::ForecastModel& truth_model_;

@@ -28,21 +28,38 @@ import sys
 def load_results(path):
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: top level is {type(data).__name__}, expected object")
+    results = data.get("results", [])
+    if not isinstance(results, list):
+        raise ValueError(f"{path}: 'results' is {type(results).__name__}, expected array")
     file_hw = data.get("hardware_threads")
     out = {}
-    for r in data.get("results", []):
+    for r in results:
+        if not isinstance(r, dict) or r.get("n") is None or r.get("threads") is None:
+            continue  # unkeyable row — nothing to compare it against
         r = dict(r)
         if "hw_threads" not in r and file_hw is not None:
             r["hw_threads"] = file_hw
-        out[(r.get("n"), r.get("threads"))] = r
+        out[(r["n"], r["threads"])] = r
     return out
+
+
+def numeric(value):
+    """float(value) for int/float/numeric-string, else None (never raises)."""
+    if isinstance(value, bool) or value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
 
 
 def oversubscribed(row):
     """True when the row's thread count exceeds its recording machine's
     hardware threads (unknown hardware context is trusted)."""
-    hw = row.get("hw_threads")
-    threads = row.get("threads")
+    hw = numeric(row.get("hw_threads"))
+    threads = numeric(row.get("threads"))
     return hw is not None and threads is not None and threads > hw
 
 
@@ -58,23 +75,25 @@ def main():
     try:
         baseline = load_results(args.baseline)
         fresh = load_results(args.fresh)
-    except (OSError, json.JSONDecodeError) as e:
+    except (OSError, json.JSONDecodeError, ValueError) as e:
         print(f"bench_guard: could not read inputs ({e}); skipping check")
         return 0
 
     rows = []
     skipped = []
     warnings = 0
-    for key, fr in sorted(fresh.items()):
+    # Stringified sort key: (n, threads) may mix types across hand-edited
+    # files, and "3 < '4'" is a TypeError, not a warning.
+    for key, fr in sorted(fresh.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))):
         base = baseline.get(key)
         if base is None or args.metric not in base or args.metric not in fr:
             continue
         if oversubscribed(base) or oversubscribed(fr):
             skipped.append(key)
             continue
-        b, f = float(base[args.metric]), float(fr[args.metric])
-        if b <= 0.0:
-            continue
+        b, f = numeric(base[args.metric]), numeric(fr[args.metric])
+        if b is None or f is None or b <= 0.0:
+            continue  # non-numeric or degenerate metric value — advisory skip
         ratio = f / b - 1.0
         flag = ratio > args.threshold
         warnings += flag
