@@ -16,21 +16,77 @@
 //   build/examples/realtime_da --soak
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "da/etkf.hpp"
+#include "da/letkf.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
 #include "models/lorenz96.hpp"
+#include "models/scaled_forecast.hpp"
+#include "sqg/sqg.hpp"
 #include "stream/faulty_stream.hpp"
 #include "stream/realtime_runner.hpp"
 #include "stream/synthetic_stream.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace turbda;
 
 namespace {
+
+/// --trace / --metrics-dump / --metrics-json plumbing, shared by every mode:
+/// tracing is armed before the first cycle and exported on exit.
+struct TelemetryCli {
+  std::string trace_path;
+  bool metrics_dump = false;
+  std::string metrics_json;
+
+  explicit TelemetryCli(const io::Args& args)
+      : trace_path(args.get_str("trace", "")),
+        metrics_dump(args.flag("metrics-dump")),
+        metrics_json(args.get_str("metrics-json", "")) {
+    telemetry::set_thread_label("main");
+    if (!trace_path.empty()) telemetry::TraceCollector::instance().enable();
+  }
+
+  /// Export whatever was recorded and pass the mode's exit code through
+  /// (telemetry export failures only fail an otherwise-clean run).
+  int finish(int code) const {
+    if (!trace_path.empty()) {
+      auto& tc = telemetry::TraceCollector::instance();
+      tc.disable();
+      const Status st = tc.write_chrome_trace(trace_path);
+      if (st.ok()) {
+        std::cout << "\nChrome trace written to " << trace_path
+                  << " (load in chrome://tracing or https://ui.perfetto.dev).\n";
+      } else {
+        std::cerr << "trace export failed: " << st.to_string() << "\n";
+        if (code == 0) code = 1;
+      }
+    }
+    if (metrics_dump || !metrics_json.empty()) {
+      const auto snap = telemetry::MetricsRegistry::global().snapshot();
+      if (metrics_dump)
+        std::cout << "\n--- metrics (Prometheus text exposition) ---\n"
+                  << telemetry::to_prometheus(snap);
+      if (!metrics_json.empty()) {
+        std::ofstream f(metrics_json);
+        f << telemetry::to_json(snap);
+        if (!f.good()) {
+          std::cerr << "metrics JSON export to " << metrics_json << " failed\n";
+          if (code == 0) code = 1;
+        } else {
+          std::cout << "Metrics JSON written to " << metrics_json << ".\n";
+        }
+      }
+    }
+    return code;
+  }
+};
 
 struct Summary {
   double rmse = 0.0;
@@ -203,6 +259,94 @@ int run_soak(const io::Args& args, const models::Lorenz96Config& mc,
   return 1;
 }
 
+/// Turbulence-scale mode: the SQG model observed through a sparse strided
+/// network and assimilated by the paper-tuned LETKF in the overlapped
+/// schedule — the configuration whose traces exercise every instrumented
+/// layer at once (runner cycles, LETKF phases, FFT plan execution, pool
+/// tasks). Small by default so `--sqg --trace=out.json` stays a smoke test.
+int run_sqg(const io::Args& args) {
+  const auto n = static_cast<std::size_t>(args.get_int("n", 32));
+  const auto members = static_cast<std::size_t>(args.get_int("members", 8));
+  const int cycles = static_cast<int>(args.get_int("cycles", 6));
+  const auto stride = static_cast<std::size_t>(args.get_int("stride", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const bool serial = args.get_str("schedule", "overlapped") == "serial";
+  const double window_hours = 3.0;
+
+  sqg::SqgConfig mc;
+  mc.n = n;
+  mc.dt = (n <= 32) ? 1800.0 : 900.0;
+  mc.t_diab = 2.0 * 86400.0;
+  mc.r_ekman = 200.0;
+  mc.diff_efold = 3.0 * 3600.0;
+  auto model = std::make_shared<sqg::SqgModel>(mc);
+  const double kelvin = models::sqg_kelvin_scale(300.0, mc.f);
+
+  rng::Rng rng(seed);
+  std::vector<double> raw(model->dim());
+  model->random_init(raw, rng, 2.0 / kelvin, 4);
+  model->advance(raw, 1.0 * 86400.0);  // short spin-up: this is a demo
+  std::vector<double> truth0(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) truth0[i] = raw[i] * kelvin;
+
+  const auto h = da::SubsampleObs::strided_grid(n, n, 2, stride);
+  da::DiagonalR r(h.obs_dim(), 1.0);
+
+  da::LetkfConfig lc;
+  lc.nx = n;
+  lc.ny = n;
+  lc.n_levels = 2;
+  lc.domain_m = mc.L;
+  lc.cutoff_m = 2.0e6;
+  lc.rtps = 0.3;
+  lc.rossby_radius_m = std::sqrt(mc.nsq) * mc.H / mc.f;
+  lc.n_threads = threads;
+  da::LETKF filter(lc);
+
+  sqg::SqgForecast truth_raw(model, window_hours * 3600.0);
+  sqg::SqgForecast fcst_raw(model, window_hours * 3600.0);
+  models::ScaledForecast truth_model(truth_raw, kelvin);
+  models::ScaledForecast fcst_model(fcst_raw, kelvin);
+
+  stream::SyntheticStreamConfig sc;
+  sc.seed = seed;
+  stream::SyntheticStream s(sc, truth_model, h, r, truth0);
+
+  stream::RealtimeConfig rc;
+  rc.n_members = members;
+  rc.cycles = cycles;
+  rc.window_hours = window_hours;
+  rc.init_spread = 1.5;
+  rc.seed = seed;
+  rc.n_forecast_threads = threads;
+  rc.schedule = serial ? stream::Schedule::Serial : stream::Schedule::Overlapped;
+
+  std::cout << "Streaming DA on SQG " << n << "^2x2 (" << members << " members, LETKF on a 1/"
+            << stride * stride << " network, " << cycles << " cycles, "
+            << (serial ? "serial" : "overlapped") << " schedule)\n\n";
+
+  stream::RealtimeRunner runner(rc, s, fcst_model, &filter);
+  const auto metrics = runner.run(truth0);
+
+  io::Table t({"cycle", "prior RMSE [K]", "post RMSE [K]", "fcst [ms]", "analysis [ms]",
+               "cycle [ms]", "pool idle"});
+  for (const auto& m : metrics) {
+    t.add_row({std::to_string(m.cycle), io::Table::num(m.rmse_prior, 3),
+               io::Table::num(m.rmse_post, 3), io::Table::num(m.forecast_ms, 1),
+               io::Table::num(m.analysis_ms, 1), io::Table::num(m.cycle_ms, 1),
+               m.pool_idle_frac < 0.0 ? std::string("-") : io::Table::num(m.pool_idle_frac, 2)});
+  }
+  t.print();
+
+  const std::string csv = args.get_str("csv", "");
+  if (!csv.empty()) {
+    stream::write_stream_metrics_csv(csv, metrics);
+    std::cout << "\nPer-cycle metrics written to " << csv << ".\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,9 +380,19 @@ int main(int argc, char** argv) {
            "  --resume          continue from --ckpt instead of starting fresh\n"
            "soak:\n"
            "  --soak            aggressive end-to-end fault soak in both schedules;\n"
-           "                    exits non-zero if any cycle fails to complete\n";
+           "                    exits non-zero if any cycle fails to complete\n"
+           "telemetry (any mode):\n"
+           "  --trace=<path>    record tracing spans, export Chrome trace-event JSON\n"
+           "  --metrics-dump    print the metrics registry (Prometheus text) on exit\n"
+           "  --metrics-json=<path>  write the metrics snapshot as JSON\n"
+           "SQG mode (--sqg): turbulence-scale demo, SQG + LETKF, overlapped schedule\n"
+           "  --sqg [--n=32] [--members=8] [--cycles=6] [--stride=4]\n"
+           "        [--schedule=overlapped|serial] [--csv=<path>]\n";
     return 0;
   }
+
+  const TelemetryCli tel(args);
+  if (args.flag("sqg")) return tel.finish(run_sqg(args));
 
   models::Lorenz96Config mc;
   mc.dim = 40;
@@ -250,7 +404,7 @@ int main(int argc, char** argv) {
   models::Lorenz96 spin(mc);
   for (int i = 0; i < 500; ++i) spin.step(truth0);
 
-  if (args.flag("soak")) return run_soak(args, mc, truth0);
+  if (args.flag("soak")) return tel.finish(run_soak(args, mc, truth0));
 
   stream::RealtimeConfig rc;
   rc.cycles = static_cast<int>(args.get_int("cycles", 40));
@@ -350,5 +504,5 @@ int main(int argc, char** argv) {
                "batches cost accuracy in proportion; the overlapped pipeline pays an extra\n"
                "one-window increment lag in exchange for hiding analysis + delivery latency\n"
                "behind the next forecast (see bench_stream_realtime for the throughput side).\n";
-  return 0;
+  return tel.finish(0);
 }

@@ -28,7 +28,14 @@ class WallTimer {
 /// profiling of an assimilation cycle).
 class AccumTimer {
  public:
-  void start() { t_.reset(); running_ = true; }
+  /// Begins an interval. Calling start() while already running is a no-op:
+  /// the open interval keeps accumulating from its original start point
+  /// rather than being silently re-zeroed (which would under-count).
+  void start() {
+    if (running_) return;
+    t_.reset();
+    running_ = true;
+  }
   void stop() {
     if (running_) total_ += t_.seconds();
     running_ = false;

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 #include "tensor/gemm.hpp"
 
 namespace turbda::da {
@@ -51,6 +52,7 @@ bool EnSF::restore_state(std::span<const std::uint8_t> in) {
 Status EnSF::analyze_impl(Ensemble& ens, std::span<const double> y,
                           const ObservationOperator& h, const DiagonalR& r,
                           const AnalysisOptions& opts, AnalysisStats* stats) {
+  TURBDA_SPAN("ensf.analyze");
   const std::size_t big_m = ens.size();  // number of analysis samples to draw
   const std::size_t d = ens.dim();
   TURBDA_REQUIRE(h.state_dim() == d, "EnSF: operator/state dim mismatch");

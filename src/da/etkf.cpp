@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "telemetry/trace.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/linalg.hpp"
 
@@ -33,6 +34,7 @@ Status ETKF::try_analyze(Ensemble& ens, std::span<const double> y, const Observa
 Status ETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
                           const ObservationOperator& h, const DiagonalR& r,
                           const AnalysisOptions& opts, AnalysisStats* stats) {
+  TURBDA_SPAN("etkf.analyze");
   const std::size_t m = ens.size();
   const std::size_t d = ens.dim();
   const std::size_t p = h.obs_dim();

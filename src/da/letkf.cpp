@@ -14,6 +14,8 @@
 #include "da/localization.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simd/dense_kernels.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "tensor/linalg.hpp"
 
 namespace turbda::da {
@@ -320,6 +322,7 @@ const LETKF::Plan& LETKF::plan_for(const ObservationOperator& h, const DiagonalR
   std::vector<double> rvar(p);
   for (std::size_t o = 0; o < p; ++o) rvar[o] = r.variance(o);
   if (plan_ != nullptr && plan_->matches(*locs_opt, rvar)) return *plan_;
+  TURBDA_SPAN("letkf.plan_build");
   WallTimer t;
   plan_ = Plan::build(cfg_, std::move(*locs_opt), std::move(rvar));
   if (cfg_.collect_timings) timings_.plan_ms += t.milliseconds();
@@ -363,7 +366,13 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
       for (std::size_t o = 0; o < p; ++o) stats->obs_masked += mask[o] ? 0 : 1;
   }
 
-  const bool tm = cfg_.collect_timings;
+  TURBDA_SPAN("letkf.analyze");
+  // Phase clocks run when either consumer is live: the cumulative timings_
+  // report (collect_timings) or the trace. Merging into timings_ stays gated
+  // on collect_timings alone so tracing never changes the bench numbers.
+  const bool tm_cfg = cfg_.collect_timings;
+  const bool tr = telemetry::tracing_enabled();
+  const bool tm = tm_cfg || tr;
   WallTimer t_total;
   const Plan& plan = plan_for(h, r);
   const double infl = cfg_.mult_inflation;
@@ -442,6 +451,8 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
     LetkfTimings pt;
     WallTimer ph;
     std::size_t loc_failures = 0, loc_fallback_cols = 0;
+    auto& tc = telemetry::TraceCollector::instance();
+    const std::uint64_t chunk_t0 = tr ? tc.now_ns() : 0;
 
     for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
       const std::uint32_t* cols = plan.group_cols.data() + plan.group_off[gr];
@@ -577,7 +588,7 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
       solver_failures += loc_failures;
       fallback_columns += loc_fallback_cols;
     }
-    if (tm) {
+    if (tm_cfg) {
       const std::lock_guard<std::mutex> lock(tm_mu);
       timings_.select_ms += pt.select_ms;
       timings_.gather_ms += pt.gather_ms;
@@ -585,6 +596,28 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
       timings_.eigh_ms += pt.eigh_ms;
       timings_.weights_ms += pt.weights_ms;
       timings_.combine_ms += pt.combine_ms;
+    }
+    if (tr) {
+      // Per-group-per-phase spans would be far too hot (thousands of groups
+      // x 6 phases per chunk); instead emit one chunk span plus synthetic
+      // children holding the chunk's aggregated per-phase totals, laid out
+      // sequentially from the chunk start (their sum is bounded by the chunk
+      // duration, so the trace viewer nests them inside it).
+      const std::uint64_t chunk_t1 = tc.now_ns();
+      tc.complete("letkf.solve_groups", chunk_t0, chunk_t1 - chunk_t0);
+      std::uint64_t at = chunk_t0;
+      const auto emit = [&](const char* phase_name, double phase_ms) {
+        if (phase_ms <= 0.0) return;
+        const auto ns = static_cast<std::uint64_t>(phase_ms * 1e6);
+        tc.complete(phase_name, at, ns);
+        at += ns;
+      };
+      emit("letkf.select", pt.select_ms);
+      emit("letkf.gather", pt.gather_ms);
+      emit("letkf.gram", pt.gram_ms);
+      emit("letkf.eigh", pt.eigh_ms);
+      emit("letkf.weights", pt.weights_ms);
+      emit("letkf.combine", pt.combine_ms);
     }
   };
 
@@ -625,11 +658,16 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
     }
   }
 
-  if (tm) {
+  if (tm_cfg) {
     timings_.total_ms += t_total.milliseconds();
     timings_.analyses += 1;
     timings_.columns += d;
     timings_.groups += n_groups;
+  }
+  {
+    static telemetry::Histogram& h_letkf =
+        telemetry::MetricsRegistry::global().histogram("turbda_letkf_analyze_ms");
+    h_letkf.observe(t_total.milliseconds());
   }
   return Status::Ok();
 }

@@ -5,6 +5,7 @@
 
 #include "common/math_utils.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 
 namespace turbda::fft {
 
@@ -345,6 +346,7 @@ void Fft2D::inverse(std::span<Cplx> x) const {
 }
 
 void Fft2D::forward_real(std::span<const double> grid, std::span<Cplx> spec) const {
+  TURBDA_SPAN("fft.forward_real");
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
                  "forward_real: wrong buffer sizes");
   if (!rrow_) {  // n1 == 1: nothing to halve along rows
@@ -379,6 +381,7 @@ void Fft2D::forward_real(std::span<const double> grid, std::span<Cplx> spec) con
 }
 
 void Fft2D::inverse_real(std::span<const Cplx> spec, std::span<double> grid) const {
+  TURBDA_SPAN("fft.inverse_real");
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && spec.size() == n0_ * n1_,
                  "inverse_real: wrong buffer sizes");
   if (!rrow_) {
@@ -412,6 +415,7 @@ void Fft2D::inverse_real(std::span<const Cplx> spec, std::span<double> grid) con
 
 void Fft2D::half_forward_impl(std::span<const double> grid, std::span<Cplx> hspec,
                               std::size_t kcut) const {
+  TURBDA_SPAN("fft.half_forward");
   TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && hspec.size() == half_size(),
                  "forward_half: wrong buffer sizes (" << grid.size() << ", " << hspec.size()
@@ -449,6 +453,7 @@ void Fft2D::half_forward_impl(std::span<const double> grid, std::span<Cplx> hspe
 
 void Fft2D::half_inverse_impl(std::span<const Cplx> hspec, std::span<double> grid,
                               std::size_t kcut) const {
+  TURBDA_SPAN("fft.half_inverse");
   TURBDA_REQUIRE(rrow_, "half-spectrum API requires n1 >= 2, plan is " << n0_ << "x" << n1_);
   TURBDA_REQUIRE(grid.size() == n0_ * n1_ && hspec.size() == half_size(),
                  "inverse_half: wrong buffer sizes (" << grid.size() << ", " << hspec.size()

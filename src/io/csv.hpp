@@ -12,8 +12,13 @@ namespace turbda::io {
 
 class CsvWriter {
  public:
-  CsvWriter(const std::string& path, std::span<const std::string> header) : out_(path) {
+  /// `comment`, when non-empty, is written as a `# `-prefixed line before the
+  /// header (schema versions, provenance). Parsers should skip '#' lines.
+  CsvWriter(const std::string& path, std::span<const std::string> header,
+            const std::string& comment = {})
+      : out_(path) {
     TURBDA_REQUIRE(out_.good(), "cannot open CSV file " << path);
+    if (!comment.empty()) out_ << "# " << comment << '\n';
     for (std::size_t i = 0; i < header.size(); ++i) {
       if (i) out_ << ',';
       out_ << header[i];
@@ -22,8 +27,9 @@ class CsvWriter {
     cols_ = header.size();
   }
 
-  CsvWriter(const std::string& path, std::initializer_list<std::string> header)
-      : CsvWriter(path, std::vector<std::string>(header)) {}
+  CsvWriter(const std::string& path, std::initializer_list<std::string> header,
+            const std::string& comment = {})
+      : CsvWriter(path, std::vector<std::string>(header), comment) {}
 
   void row(std::span<const double> values) {
     TURBDA_REQUIRE(values.size() == cols_, "CSV row width mismatch");

@@ -1,6 +1,10 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "telemetry/trace.hpp"
 
 namespace turbda::parallel {
 
@@ -14,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -81,8 +85,9 @@ void ThreadPool::parallel_for(std::size_t n,
   if (first_err) std::rethrow_exception(first_err);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   t_in_pool_worker = true;
+  telemetry::set_thread_label("pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -92,7 +97,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      TURBDA_SPAN("pool.task");
+      task();
+    }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -3,8 +3,10 @@
 // terms of tasks, not threads).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -48,14 +50,29 @@ class ThreadPool {
   /// True when called from one of this process's pool worker threads.
   [[nodiscard]] static bool in_worker();
 
+  /// Cumulative utilization counters, maintained by workers with relaxed
+  /// atomics (two clock reads per task — negligible against the coarse
+  /// chunk tasks this pool runs). Callers diff busy_ns across an interval
+  /// to derive idle fractions: idle = 1 - Δbusy / (Δwall * size()).
+  struct Stats {
+    std::uint64_t busy_ns = 0;        ///< total ns workers spent inside tasks
+    std::uint64_t tasks_executed = 0; ///< tasks completed by workers
+  };
+  [[nodiscard]] Stats stats() const {
+    return {busy_ns_.load(std::memory_order_relaxed),
+            tasks_executed_.load(std::memory_order_relaxed)};
+  }
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 /// Process-wide default pool (sized to hardware concurrency).

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/math_utils.hpp"
+#include "telemetry/trace.hpp"
 
 namespace turbda::sqg {
 
@@ -367,6 +368,7 @@ void SqgModel::tendency_batch(std::span<const Cplx> specs, std::span<Cplx> outs,
 
 void SqgModel::step_batch(std::span<double> states, std::size_t count, int nsteps,
                           SqgBatchWorkspace& ws) const {
+  TURBDA_SPAN("sqg.step_batch");
   TURBDA_REQUIRE(states.size() == count * dim(),
                  "step_batch: state block size " << states.size() << " != " << count << " x "
                                                  << dim());

@@ -42,7 +42,10 @@ void put_metrics(std::vector<std::uint8_t>& out, const StreamCycleMetrics& m) {
   out.push_back(m.degraded ? 1 : 0);
   bytes::put_f64(out, m.forecast_ms);
   bytes::put_f64(out, m.analysis_ms);
+  bytes::put_f64(out, m.qc_ms);
+  bytes::put_f64(out, m.checkpoint_ms);
   bytes::put_f64(out, m.cycle_ms);
+  bytes::put_f64(out, m.pool_idle_frac);
 }
 
 void read_metrics(bytes::Reader& rd, StreamCycleMetrics& m) {
@@ -66,7 +69,10 @@ void read_metrics(bytes::Reader& rd, StreamCycleMetrics& m) {
   m.degraded = rd.u8() != 0;
   m.forecast_ms = rd.f64();
   m.analysis_ms = rd.f64();
+  m.qc_ms = rd.f64();
+  m.checkpoint_ms = rd.f64();
   m.cycle_ms = rd.f64();
+  m.pool_idle_frac = rd.f64();
 }
 
 }  // namespace

@@ -21,7 +21,8 @@
 namespace turbda::stream {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B434454u;  // "TDCK" LE
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: StreamCycleMetrics grew qc_ms / checkpoint_ms / pool_idle_frac.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Everything a snapshot holds. The config echo fields let resume() refuse a
 /// checkpoint taken under a different setup instead of diverging silently.

@@ -10,6 +10,8 @@
 #include "io/csv.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stream/checkpoint.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace turbda::stream {
 
@@ -19,6 +21,67 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Tracks pool-worker utilization across one cycle: diff of the pool's
+/// cumulative busy time over the cycle's wall time.
+struct PoolIdleProbe {
+  Clock::time_point t0 = Clock::now();
+  std::uint64_t busy0 = parallel::global_pool().stats().busy_ns;
+
+  [[nodiscard]] double idle_frac() const {
+    const auto& pool = parallel::global_pool();
+    if (pool.size() == 0) return -1.0;
+    const double wall_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    if (wall_ns <= 0.0) return -1.0;
+    const double busy_ns =
+        static_cast<double>(pool.stats().busy_ns - busy0);
+    const double frac = 1.0 - busy_ns / (wall_ns * static_cast<double>(pool.size()));
+    return std::clamp(frac, 0.0, 1.0);
+  }
+};
+
+/// Folds one finished cycle's record into the global metrics registry.
+/// Instrument refs are resolved once (stable for the registry's lifetime);
+/// updates are lock-free relaxed atomics.
+void record_cycle_telemetry(const StreamCycleMetrics& cm) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  static telemetry::Counter& c_cycles = reg.counter("turbda_cycles_total");
+  static telemetry::Counter& c_misses = reg.counter("turbda_deadline_miss_total");
+  static telemetry::Counter& c_qc_rej = reg.counter("turbda_qc_rejected_total");
+  static telemetry::Counter& c_assim = reg.counter("turbda_batches_assimilated_total");
+  static telemetry::Counter& c_disc = reg.counter("turbda_batches_discarded_total");
+  static telemetry::Counter& c_fail = reg.counter("turbda_analysis_failures_total");
+  static telemetry::Counter& c_spread = reg.counter("turbda_spread_recoveries_total");
+  static telemetry::Counter& c_degraded = reg.counter("turbda_degraded_cycles_total");
+  static telemetry::Histogram& h_cycle = reg.histogram("turbda_cycle_ms");
+  static telemetry::Histogram& h_fcst = reg.histogram("turbda_forecast_ms");
+  static telemetry::Histogram& h_an = reg.histogram("turbda_analysis_ms");
+  static telemetry::Histogram& h_qc = reg.histogram("turbda_qc_ms");
+  static telemetry::Histogram& h_ckpt = reg.histogram("turbda_checkpoint_ms");
+  static telemetry::Gauge& g_idle = reg.gauge("turbda_pool_idle_frac");
+  static telemetry::Gauge& g_slack = reg.gauge("turbda_deadline_slack_cycles");
+
+  c_cycles.inc();
+  if (cm.deadline_miss) c_misses.inc();
+  c_qc_rej.inc(static_cast<std::uint64_t>(cm.obs_rejected));
+  c_assim.inc(static_cast<std::uint64_t>(cm.batches_assimilated));
+  c_disc.inc(static_cast<std::uint64_t>(cm.batches_discarded));
+  c_fail.inc(static_cast<std::uint64_t>(cm.analysis_failures));
+  c_spread.inc(static_cast<std::uint64_t>(cm.spread_recoveries));
+  if (cm.degraded) c_degraded.inc();
+  h_cycle.observe(cm.cycle_ms);
+  h_fcst.observe(cm.forecast_ms);
+  if (cm.batches_assimilated > 0 || cm.analysis_failures > 0) h_an.observe(cm.analysis_ms);
+  if (cm.qc_ms > 0.0) h_qc.observe(cm.qc_ms);
+  if (cm.checkpoint_ms > 0.0) h_ckpt.observe(cm.checkpoint_ms);
+  if (cm.pool_idle_frac >= 0.0) g_idle.set(cm.pool_idle_frac);
+  // Slack of this window's own batch vs. its analysis point (negative =
+  // late); only meaningful when the batch arrived at all.
+  if (cm.obs_arrival_cycles >= 0.0)
+    g_slack.set(static_cast<double>(cm.cycle + 1) - cm.obs_arrival_cycles);
+  if (cm.degraded) TURBDA_TRACE_INSTANT("status.degraded_cycle");
 }
 
 }  // namespace
@@ -71,6 +134,7 @@ std::vector<double> RealtimeRunner::draw_shared_error(int cycle) const {
 /// bitwise identical to the member-sequential loop by contract).
 void RealtimeRunner::forecast_block(int cycle, std::size_t b, std::size_t e,
                                     const std::vector<double>& shared_err) {
+  TURBDA_SPAN("runner.forecast_block");
   const std::size_t d = forecast_model_.dim();
   // Ensemble members are contiguous rows, so the block is one dense span.
   std::span<double> block(ens_->member(b).data(), (e - b) * d);
@@ -144,6 +208,7 @@ void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBat
                                         int cycle, StreamCycleMetrics& cm) {
   if (batches.empty()) return;
   emulate_delivery_delay(batches, cycle);
+  TURBDA_SPAN("runner.analysis");
   const auto t_an = Clock::now();
   std::vector<std::uint8_t> mask;
   for (auto& b : batches) {
@@ -162,9 +227,12 @@ void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBat
     const int age = std::max(cycle - b.cycle, 0);
     da::AnalysisOptions opts;
     if (cfg_.qc.enabled) {
+      TURBDA_SPAN("runner.qc");
+      const auto t_qc = Clock::now();
       const da::QcReport rep =
           da::apply_quality_control(cfg_.qc, b.y, stream_.h(), stream_.r(), target,
                                     static_cast<std::size_t>(age), mask);
+      cm.qc_ms += ms_since(t_qc);
       cm.obs_rejected += static_cast<int>(rep.rejected_total());
       cm.max_r_scale = std::max(cm.max_r_scale, rep.r_scale);
       opts.r_scale = rep.r_scale;
@@ -176,10 +244,12 @@ void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBat
       // Graceful degradation: the filters leave the ensemble untouched on a
       // recoverable failure, so this cycle simply keeps its forecast.
       TURBDA_REQUIRE(cfg_.degrade_on_failure, "analysis failed — " << s.to_string());
+      TURBDA_TRACE_INSTANT("status.analysis_failure");
       ++cm.analysis_failures;
       cm.degraded = true;
       continue;
     }
+    if (st.fallback_columns > 0) TURBDA_TRACE_INSTANT("status.solver_fallback");
     cm.solver_fallbacks += static_cast<int>(st.fallback_columns);
     if (st.solver_failures > 0) cm.degraded = true;
     if (b.cycle >= 0 && b.cycle < cfg_.cycles) applied_[static_cast<std::size_t>(b.cycle)] = 1;
@@ -201,6 +271,7 @@ void RealtimeRunner::apply_spread_guard(da::Ensemble& target, int cycle, StreamC
     }
   };
   if (cfg_.spread_floor > 0.0 && sp < cfg_.spread_floor) {
+    TURBDA_TRACE_INSTANT("status.spread_recovery");
     ++cm.spread_recoveries;
     cm.degraded = true;
     if (sp <= 1e-12 * cfg_.spread_floor) {
@@ -218,6 +289,7 @@ void RealtimeRunner::apply_spread_guard(da::Ensemble& target, int cycle, StreamC
       rescale(cfg_.spread_floor / sp);
     }
   } else if (cfg_.spread_ceiling > 0.0 && sp > cfg_.spread_ceiling) {
+    TURBDA_TRACE_INSTANT("status.spread_recovery");
     ++cm.spread_recoveries;
     cm.degraded = true;
     rescale(cfg_.spread_ceiling / sp);
@@ -225,11 +297,19 @@ void RealtimeRunner::apply_spread_guard(da::Ensemble& target, int cycle, StreamC
 }
 
 void RealtimeRunner::maybe_checkpoint(int completed_cycle,
-                                      const std::vector<StreamCycleMetrics>& metrics) {
+                                      std::vector<StreamCycleMetrics>& metrics) {
   if (cfg_.checkpoint_path.empty() || cfg_.checkpoint_every <= 0) return;
   const int next = completed_cycle + 1;
   if (next >= cfg_.cycles) return;  // nothing left to resume
   if (next % cfg_.checkpoint_every != 0) return;
+
+  TURBDA_SPAN("runner.checkpoint");
+  const auto t_ckpt = Clock::now();
+  const auto record_elapsed = [&] {
+    if (!metrics.empty() && metrics.back().cycle == completed_cycle)
+      metrics.back().checkpoint_ms = ms_since(t_ckpt);
+    if (!checkpoint_status_.ok()) TURBDA_TRACE_INSTANT("status.checkpoint_failed");
+  };
 
   const std::size_t d = forecast_model_.dim();
   CheckpointData data;
@@ -253,17 +333,20 @@ void RealtimeRunner::maybe_checkpoint(int completed_cycle,
   if (!stream_.save_state(data.stream_state)) {
     checkpoint_status_ =
         Status(StatusCode::kUnsupported, "stream does not support checkpointing");
+    record_elapsed();
     return;
   }
   if (filter_ != nullptr && !filter_->save_state(data.filter_state)) {
     checkpoint_status_ =
         Status(StatusCode::kUnsupported, "filter does not support checkpointing");
+    record_elapsed();
     return;
   }
   data.metrics = metrics;
   // A failed snapshot write must never take down the service it protects:
   // record the Status and keep cycling.
   checkpoint_status_ = save_checkpoint(cfg_.checkpoint_path, data);
+  record_elapsed();
 }
 
 std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base,
@@ -357,15 +440,23 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
   metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
 
   for (int k = start_cycle; k < cfg_.cycles; ++k) {
+    TURBDA_SPAN("runner.cycle");
+    const PoolIdleProbe idle_probe;
     const auto t_cycle = Clock::now();
     StreamCycleMetrics cm;
     cm.cycle = k;
     cm.time_hours = (k + 1) * cfg_.window_hours;
 
-    stream_.produce(k);
+    {
+      TURBDA_SPAN("stream.produce");
+      stream_.produce(k);
+    }
 
     const auto t_fcst = Clock::now();
-    forecast_members(k);
+    {
+      TURBDA_SPAN("runner.forecast");
+      forecast_members(k);
+    }
     cm.forecast_ms = ms_since(t_fcst);
 
     const auto truth = stream_.truth(k);
@@ -378,6 +469,7 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
       cm.deadline_miss = !col.own_on_time;
       cm.obs_arrival_cycles = col.own_arrival;
       cm.batches_discarded = col.discarded;
+      if (cm.deadline_miss) TURBDA_TRACE_INSTANT("status.deadline_miss");
       assimilate_batches(*ens_, col.apply, k, cm);
     } else {
       discard_unconsumed(k);
@@ -385,6 +477,7 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
     cm.rmse_post = rmse_vs_truth(*ens_, truth);
     cm.spread_post = ens_->mean_spread();
     cm.cycle_ms = ms_since(t_cycle);
+    cm.pool_idle_frac = idle_probe.idle_frac();
     metrics.push_back(cm);
 
     if (hook_) {
@@ -392,6 +485,7 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
       hook_(k, mean);
     }
     maybe_checkpoint(k, metrics);
+    record_cycle_telemetry(metrics.back());
   }
 }
 
@@ -414,6 +508,8 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
   // Allocated once on first use, reused (assignment keeps capacity) so the
   // hot loop stays allocation-free after warm-up.
   for (int k = start_cycle; k < cfg_.cycles; ++k) {
+    TURBDA_SPAN("runner.cycle");
+    const PoolIdleProbe idle_probe;
     const auto t_cycle = Clock::now();
     StreamCycleMetrics cm;
     cm.cycle = k;
@@ -441,6 +537,7 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
       cm.deadline_miss = !col.own_on_time;
       cm.obs_arrival_cycles = col.own_arrival;
       cm.batches_discarded = col.discarded;
+      if (cm.deadline_miss) TURBDA_TRACE_INSTANT("status.deadline_miss");
     } else {
       discard_unconsumed(k);
     }
@@ -452,7 +549,9 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
       cm.rmse_post = rmse_vs_truth(*ens_, truth);
       cm.spread_post = ens_->mean_spread();
       cm.cycle_ms = ms_since(t_cycle);
+      cm.pool_idle_frac = idle_probe.idle_frac();
       metrics.push_back(cm);
+      record_cycle_telemetry(metrics.back());
       if (hook_) {
         const auto mean = ens_->mean();
         hook_(k, mean);
@@ -490,7 +589,10 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
 
     const auto t_fcst = Clock::now();
     std::vector<std::future<void>> tasks;
-    tasks.push_back(pool.submit([this, k1] { stream_.produce(k1); }));
+    tasks.push_back(pool.submit([this, k1] {
+      TURBDA_SPAN("stream.produce");
+      stream_.produce(k1);
+    }));
     std::size_t par = std::max<std::size_t>(pool.size(), 1);
     if (cfg_.n_forecast_threads != 0) par = std::min(par, cfg_.n_forecast_threads);
     if (!forecast_model_.concurrent_safe()) par = 1;
@@ -524,29 +626,41 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
 
     cm.forecast_ms = ms_since(t_fcst);
     cm.cycle_ms = ms_since(t_cycle);
+    cm.pool_idle_frac = idle_probe.idle_frac();
     metrics.push_back(cm);
     maybe_checkpoint(k, metrics);
+    record_cycle_telemetry(metrics.back());
   }
+}
+
+std::vector<std::string> stream_metrics_columns() {
+  return {"cycle", "time_hours", "rmse_prior", "rmse_post", "spread_prior",
+          "spread_post", "batches_assimilated", "batches_discarded",
+          "max_batch_age", "deadline_miss", "obs_arrival_cycles",
+          "obs_rejected", "batches_rejected", "max_r_scale",
+          "analysis_failures", "solver_fallbacks", "spread_recoveries",
+          "degraded", "forecast_ms", "analysis_ms", "qc_ms", "checkpoint_ms",
+          "cycle_ms", "pool_idle_frac"};
+}
+
+std::vector<double> stream_metrics_row(const StreamCycleMetrics& m) {
+  return {static_cast<double>(m.cycle), m.time_hours, m.rmse_prior, m.rmse_post,
+          m.spread_prior, m.spread_post, static_cast<double>(m.batches_assimilated),
+          static_cast<double>(m.batches_discarded), static_cast<double>(m.max_batch_age),
+          m.deadline_miss ? 1.0 : 0.0, m.obs_arrival_cycles,
+          static_cast<double>(m.obs_rejected), static_cast<double>(m.batches_rejected),
+          m.max_r_scale, static_cast<double>(m.analysis_failures),
+          static_cast<double>(m.solver_fallbacks), static_cast<double>(m.spread_recoveries),
+          m.degraded ? 1.0 : 0.0, m.forecast_ms, m.analysis_ms, m.qc_ms, m.checkpoint_ms,
+          m.cycle_ms, m.pool_idle_frac};
 }
 
 void write_stream_metrics_csv(const std::string& path,
                               std::span<const StreamCycleMetrics> metrics) {
-  io::CsvWriter csv(path, {"cycle", "time_hours", "rmse_prior", "rmse_post", "spread_prior",
-                           "spread_post", "batches_assimilated", "batches_discarded",
-                           "max_batch_age", "deadline_miss", "obs_arrival_cycles",
-                           "obs_rejected", "batches_rejected", "max_r_scale",
-                           "analysis_failures", "solver_fallbacks", "spread_recoveries",
-                           "degraded", "forecast_ms", "analysis_ms", "cycle_ms"});
-  for (const auto& m : metrics) {
-    csv.row({static_cast<double>(m.cycle), m.time_hours, m.rmse_prior, m.rmse_post,
-             m.spread_prior, m.spread_post, static_cast<double>(m.batches_assimilated),
-             static_cast<double>(m.batches_discarded), static_cast<double>(m.max_batch_age),
-             m.deadline_miss ? 1.0 : 0.0, m.obs_arrival_cycles,
-             static_cast<double>(m.obs_rejected), static_cast<double>(m.batches_rejected),
-             m.max_r_scale, static_cast<double>(m.analysis_failures),
-             static_cast<double>(m.solver_fallbacks), static_cast<double>(m.spread_recoveries),
-             m.degraded ? 1.0 : 0.0, m.forecast_ms, m.analysis_ms, m.cycle_ms});
-  }
+  const std::vector<std::string> cols = stream_metrics_columns();
+  io::CsvWriter csv(path, cols,
+                    "stream_metrics_schema=" + std::to_string(kStreamMetricsSchemaVersion));
+  for (const auto& m : metrics) csv.row(stream_metrics_row(m));
 }
 
 double mean_rmse_post(std::span<const StreamCycleMetrics> metrics, int from_cycle) {

@@ -130,8 +130,24 @@ struct StreamCycleMetrics {
   // Wall-clock telemetry (measured, machine-dependent).
   double forecast_ms = 0.0;
   double analysis_ms = 0.0;
+  double qc_ms = 0.0;          ///< quality-control time inside the analysis
+  double checkpoint_ms = 0.0;  ///< periodic snapshot write after this cycle
   double cycle_ms = 0.0;
+  /// Fraction of pool-worker capacity left idle over this cycle's wall time
+  /// (1 - Δbusy / (wall * workers)); -1 when no pool workers exist.
+  double pool_idle_frac = -1.0;
 };
+
+/// Version of the StreamCycleMetrics CSV schema; bumped whenever columns are
+/// added, removed or reordered. Written as a `# stream_metrics_schema=N`
+/// comment line ahead of the CSV header.
+inline constexpr int kStreamMetricsSchemaVersion = 2;
+
+/// Column names for write_stream_metrics_csv, in the exact emitted order —
+/// the single source of truth the writer and the round-trip tests share.
+[[nodiscard]] std::vector<std::string> stream_metrics_columns();
+/// One CSV row (same order as stream_metrics_columns()).
+[[nodiscard]] std::vector<double> stream_metrics_row(const StreamCycleMetrics& m);
 
 /// Hook invoked after each cycle's update with (cycle, posterior mean).
 using CycleHook = std::function<void(int, std::span<const double>)>;
@@ -194,8 +210,9 @@ class RealtimeRunner {
   void assimilate_batches(da::Ensemble& target, std::vector<ObsBatch>& batches, int cycle,
                           StreamCycleMetrics& cm);
   void apply_spread_guard(da::Ensemble& target, int cycle, StreamCycleMetrics& cm);
-  /// Periodic snapshot at the end of cycle body `completed_cycle`.
-  void maybe_checkpoint(int completed_cycle, const std::vector<StreamCycleMetrics>& metrics);
+  /// Periodic snapshot at the end of cycle body `completed_cycle`; records
+  /// its wall time on metrics.back().checkpoint_ms when a write happens.
+  void maybe_checkpoint(int completed_cycle, std::vector<StreamCycleMetrics>& metrics);
 
   void run_serial(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
   void run_overlapped(int start_cycle, std::vector<StreamCycleMetrics>& metrics);

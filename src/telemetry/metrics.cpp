@@ -1,0 +1,191 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace turbda::telemetry {
+
+namespace {
+
+constexpr std::array<double, 14> kDefaultMsBuckets = {
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0};
+
+/// Prometheus-safe metric name: [a-zA-Z_][a-zA-Z0-9_]*, others become '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+                    (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+/// Shortest round-trip-ish double formatting for the expositions.
+std::string fmt(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::span<const double> default_ms_buckets() { return kDefaultMsBuckets; }
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      counts_(std::make_unique<std::atomic<std::uint64_t>[]>(bounds.size() + 1)) {
+  TURBDA_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bucket bounds must be sorted");
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper edge admits v; +Inf bucket otherwise.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr)
+    slot = std::make_unique<Histogram>(bounds.empty() ? default_ms_buckets() : bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.bounds = h->bounds();
+    row.counts = h->bucket_counts();
+    row.count = h->count();
+    row.sum = h->sum();
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string n = sanitize(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string n = sanitize(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + fmt(g.value) + "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string n = sanitize(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out += n + "_bucket{le=\"" + fmt(h.bounds[i]) + "\"} " + std::to_string(cum) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + fmt(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + sanitize(snap.counters[i].name) + "\": " +
+           std::to_string(snap.counters[i].value);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += (i ? ",\n    \"" : "\n    \"") + sanitize(snap.gauges[i].name) + "\": " +
+           fmt(snap.gauges[i].value);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    out += (i ? ",\n    \"" : "\n    \"") + sanitize(h.name) + "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b)
+      out += (b ? ", " : "") + fmt(h.bounds[b]);
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b)
+      out += (b ? ", " : "") + std::to_string(h.counts[b]);
+    out += "], \"count\": " + std::to_string(h.count) + ", \"sum\": " + fmt(h.sum) + "}";
+  }
+  out += snap.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace turbda::telemetry

@@ -1,0 +1,137 @@
+// Metrics registry — named counters, gauges and fixed-bucket histograms
+// with a snapshot API and Prometheus-style / JSON exposition.
+//
+// This is the "how much / how often" half of the telemetry subsystem
+// (trace.hpp is the "where did the time go" half) and the substrate the
+// multi-tenant ScenarioServer's per-scenario metrics endpoint will serve
+// from: a long-running assimilation service exposes cycle latencies,
+// deadline slack, QC rejections and pool utilization without stopping.
+//
+// Concurrency model: registration (name lookup) takes a mutex and returns a
+// stable reference — instruments are never invalidated once created, so hot
+// paths look up once and then update lock-free (relaxed atomics). Updates
+// never allocate. Like the tracing layer, metrics only *observe*: no
+// instrumented code path branches on a metric value, so recording cannot
+// perturb numerical results.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace turbda::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive bucket upper edges
+/// (Prometheus `le`), plus an implicit +Inf bucket. Bucket layout is fixed
+/// at registration; observe() is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct CounterRow {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramRow {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< per-bucket, bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<CounterRow> counters;
+  std::vector<GaugeRow> gauges;
+  std::vector<HistogramRow> histograms;
+};
+
+/// Default latency buckets (milliseconds), spanning sub-ms FFT batches to
+/// multi-second LETKF analyses.
+[[nodiscard]] std::span<const double> default_ms_buckets();
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry (what the built-in instrumentation reports to).
+  static MetricsRegistry& global();
+  MetricsRegistry() = default;
+
+  /// Look up or create. References stay valid for the registry's lifetime;
+  /// hot paths should cache them. Names should match Prometheus conventions
+  /// ([a-zA-Z_][a-zA-Z0-9_]*); exposition replaces other characters with '_'.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bucket bounds (empty = default_ms_buckets);
+  /// later calls with any bounds return the existing instrument.
+  Histogram& histogram(const std::string& name, std::span<const double> bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument, keeping registrations (per-run reset).
+  void reset();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Prometheus text exposition format (# TYPE lines, cumulative _bucket{le=}
+/// rows with +Inf, _sum and _count).
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// JSON dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap);
+
+}  // namespace turbda::telemetry

@@ -69,5 +69,49 @@ TEST(Timer, AccumTimerSums) {
   EXPECT_GT(t.seconds(), first);
 }
 
+TEST(Timer, WallTimerResetRestartsTheClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  // Right after reset the elapsed time must be far below the pre-reset wait.
+  EXPECT_LT(t.milliseconds(), 15.0);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, AccumTimerStartWhileRunningKeepsTheOpenInterval) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // A redundant start() must NOT re-zero the running interval: the full
+  // 20ms+ wait above still counts when we stop below.
+  t.start();
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.015);
+}
+
+TEST(Timer, AccumTimerStopWithoutStartIsANoOp) {
+  AccumTimer t;
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+  // stop() twice after one interval must not double-count it.
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  const double once = t.seconds();
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.seconds(), once);
+}
+
+TEST(Timer, AccumTimerResetClearsTotalAndRunningState) {
+  AccumTimer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+  // reset() also cleared running_: a stop() without a new start adds nothing.
+  t.stop();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+}
+
 }  // namespace
 }  // namespace turbda

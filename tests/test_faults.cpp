@@ -597,7 +597,9 @@ TEST(FaultTolerantCycling, AcceptanceNanPoisonPlusForcedSolverFailure) {
   std::ifstream in(csv);
   ASSERT_TRUE(in.good());
   std::string header;
-  std::getline(in, header);
+  // Skip the '#'-prefixed schema-version comment line(s) above the header.
+  while (std::getline(in, header) && !header.empty() && header[0] == '#') {
+  }
   for (const char* col : {"obs_rejected", "batches_rejected", "max_r_scale",
                           "analysis_failures", "solver_fallbacks", "spread_recoveries",
                           "degraded"})

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parallel/sim_comm.hpp"
@@ -42,6 +44,26 @@ TEST(ThreadPool, ManyTasks) {
   for (int i = 0; i < 200; ++i) futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
   for (auto& f : futs) f.get();
   EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, StatsAccumulateBusyTimeAndTaskCount) {
+  ThreadPool pool(2);
+  const auto before = pool.stats();
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(pool.submit(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }));
+  for (auto& f : futs) f.get();
+  // The worker updates its stats *after* fulfilling the task's future, so
+  // give the last increment a moment to land before asserting.
+  auto after = pool.stats();
+  for (int spin = 0; spin < 200 && after.tasks_executed - before.tasks_executed < 8u; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    after = pool.stats();
+  }
+  EXPECT_EQ(after.tasks_executed - before.tasks_executed, 8u);
+  // 8 x 2ms of sleeping must register as busy time (allow scheduler slack).
+  EXPECT_GE(after.busy_ns - before.busy_ns, 8'000'000u);
 }
 
 TEST(SimComm, PointToPoint) {

@@ -8,8 +8,13 @@
 //  - the sparse strided-grid observation network.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -570,6 +575,66 @@ TEST(Stream, LetkfAssimilatesSparseStridedNetwork) {
   // Unobserved neighbors pick up sampling noise through the localized
   // spurious correlations of a 10-member ensemble; bound it, don't forbid it.
   EXPECT_LT(after_all, 1.5 * before_all);
+}
+
+// --------------------------------------------------- metrics CSV schema ---
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+TEST(Stream, MetricsCsvSchemaAndValuesRoundTrip) {
+  stream::SyntheticStreamConfig sc;
+  sc.seed = 777;
+  sc.latency_cycles = 0.4;
+  stream::RealtimeConfig rc = base_config(5);
+  rc.deadline_slack_cycles = 0.5;
+  const auto res = run_realtime(sc, rc);
+  ASSERT_EQ(res.metrics.size(), 5u);
+
+  const std::string path = "test_stream_metrics_roundtrip.csv";
+  stream::write_stream_metrics_csv(path, res.metrics);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+
+  // Line 1: schema-version comment, so downstream parsers can dispatch.
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "# stream_metrics_schema=" + std::to_string(stream::kStreamMetricsSchemaVersion));
+
+  // Line 2: header must match the declared column order exactly.
+  const auto columns = stream::stream_metrics_columns();
+  ASSERT_TRUE(std::getline(in, line));
+  const auto header = split_csv_line(line);
+  ASSERT_EQ(header.size(), columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    EXPECT_EQ(header[i], columns[i]) << "column " << i;
+
+  // Data rows: one per cycle, every cell reparsing to the source value.
+  std::size_t n_rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ASSERT_LT(n_rows, res.metrics.size());
+    const auto cells = split_csv_line(line);
+    const auto want = stream::stream_metrics_row(res.metrics[n_rows]);
+    ASSERT_EQ(cells.size(), want.size()) << "row " << n_rows;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const double got = std::stod(cells[i]);
+      // The writer prints 12 significant digits — compare to that precision.
+      EXPECT_NEAR(got, want[i], 1e-9 * std::max(1.0, std::abs(want[i])))
+          << "row " << n_rows << " column " << columns[i];
+    }
+    ++n_rows;
+  }
+  EXPECT_EQ(n_rows, res.metrics.size());
+  in.close();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace-event JSON exported by the telemetry layer.
+
+Checks the structural contract of the trace-event format (the subset the
+TraceCollector emits: "X" complete events, "i" instants, "M" metadata) plus
+repo-specific expectations passed on the command line: span names that must
+appear and the minimum number of distinct threads carrying spans. CI runs it
+against `realtime_da --sqg --trace=...` output so a refactor that silently
+drops instrumentation (or breaks the JSON writer) fails the smoke job.
+
+Usage:
+  tools/check_trace.py trace.json [--require runner.cycle,letkf.analyze]
+      [--min-threads 2] [--min-events 10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--require", default="",
+                    help="comma-separated span names that must appear")
+    ap.add_argument("--min-threads", type=int, default=1,
+                    help="minimum distinct tids carrying X spans")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of X span events")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        fail("top level must be an object with a 'traceEvents' array")
+    events = data["traceEvents"]
+
+    spans, instants, meta = [], [], []
+    span_tids = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            fail(f"event #{i} has unexpected phase {ph!r}")
+        if "pid" not in ev or "tid" not in ev:
+            fail(f"event #{i} ({ph}) lacks pid/tid")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name"):
+                fail(f"metadata event #{i} has unexpected name {ev.get('name')!r}")
+            if not isinstance(ev.get("args", {}).get("name"), str):
+                fail(f"metadata event #{i} lacks args.name")
+            meta.append(ev)
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"event #{i} ({ph}) lacks a name")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"event #{i} ({ev['name']}) has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"event #{i} ({ev['name']}) has bad dur {dur!r}")
+            spans.append(ev)
+            span_tids.add(ev["tid"])
+        else:
+            if ev.get("s") != "t":
+                fail(f"instant #{i} ({ev['name']}) lacks thread scope ('s': 't')")
+            instants.append(ev)
+
+    named_tids = {ev["tid"] for ev in meta if ev.get("name") == "thread_name"}
+    unnamed = span_tids - named_tids
+    if unnamed:
+        fail(f"tids {sorted(unnamed)} carry spans but have no thread_name metadata")
+
+    if len(spans) < args.min_events:
+        fail(f"only {len(spans)} span events, expected >= {args.min_events}")
+    if len(span_tids) < args.min_threads:
+        fail(f"spans from only {len(span_tids)} thread(s), "
+             f"expected >= {args.min_threads}")
+
+    required = [n for n in args.require.split(",") if n]
+    present = {ev["name"] for ev in spans} | {ev["name"] for ev in instants}
+    missing = [n for n in required if n not in present]
+    if missing:
+        fail(f"required span names missing from trace: {', '.join(missing)}; "
+             f"present: {', '.join(sorted(present))}")
+
+    print(f"check_trace: OK: {len(spans)} spans + {len(instants)} instants across "
+          f"{len(span_tids)} thread(s); all required names present.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Merge bench JSON files row-wise into the first (the committed baseline).
+
+The committed baselines need rows at every resolution CI compares against
+(full-size for the record, --smoke for the guard), but each bench invocation
+writes one file at one configuration. This folds the row arrays ("scenarios"
+or "results") of the extra files into the first file, replacing rows with the
+same key and keeping everything else (file-level metadata, "phases") from the
+first file. Keys follow tools/bench_guard.py: (name, schedule, n, members)
+for scenario rows, (n, threads) for result rows.
+
+Usage:
+  ./build/bench_stream_realtime --json=BENCH_stream.json
+  ./build/bench_stream_realtime --smoke --json=smoke.json
+  tools/merge_bench.py BENCH_stream.json smoke.json
+"""
+
+import json
+import sys
+
+
+def rows_key(data):
+    return "scenarios" if "scenarios" in data and "results" not in data else "results"
+
+
+def row_id(data, row, kind):
+    fields = ("name", "schedule", "n", "members") if kind == "scenarios" else ("n", "threads")
+    return tuple(row.get(k, data.get(k)) for k in fields)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip())
+        return 2
+    target_path, extras = argv[1], argv[2:]
+    with open(target_path, "r", encoding="utf-8") as f:
+        target = json.load(f)
+    kind = rows_key(target)
+    merged = {row_id(target, r, kind): r for r in target.get(kind, [])}
+    for path in extras:
+        with open(path, "r", encoding="utf-8") as f:
+            extra = json.load(f)
+        if rows_key(extra) != kind:
+            print(f"merge_bench: {path} holds '{rows_key(extra)}' rows, "
+                  f"{target_path} holds '{kind}' — refusing to mix")
+            return 1
+        for r in extra.get(kind, []):
+            # Pin the source file's resolution context onto the row so it
+            # survives under the target's file-level metadata.
+            for k in ("n", "members"):
+                if k not in r and k in extra:
+                    r[k] = extra[k]
+            merged[row_id(extra, r, kind)] = r
+    target[kind] = list(merged.values())
+    with open(target_path, "w", encoding="utf-8") as f:
+        json.dump(target, f, indent=2)
+        f.write("\n")
+    print(f"merge_bench: {target_path} now holds {len(target[kind])} {kind} row(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
