@@ -23,6 +23,8 @@ enum class StatusCode {
   kCorruptData,      ///< data failed integrity checks (CRC, magic, bounds)
   kUnsupported,      ///< the implementation cannot honor the request
   kIoError,          ///< filesystem read/write failure
+  kTimeout,          ///< a bounded wait elapsed without the awaited event
+  kUnavailable,      ///< a peer/transport is (currently) gone; retry may help
   kFailed,           ///< other recoverable failure (message has details)
 };
 
@@ -34,6 +36,8 @@ enum class StatusCode {
     case StatusCode::kCorruptData: return "corrupt-data";
     case StatusCode::kUnsupported: return "unsupported";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kFailed: return "failed";
   }
   return "unknown";

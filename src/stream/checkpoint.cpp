@@ -46,6 +46,11 @@ void put_metrics(std::vector<std::uint8_t>& out, const StreamCycleMetrics& m) {
   bytes::put_f64(out, m.checkpoint_ms);
   bytes::put_f64(out, m.cycle_ms);
   bytes::put_f64(out, m.pool_idle_frac);
+  bytes::put_i32(out, m.late_applied);
+  bytes::put_i32(out, m.ingest_reconnects);
+  bytes::put_i32(out, m.ingest_frames_corrupt);
+  bytes::put_i32(out, m.ingest_frames_resynced);
+  bytes::put_i32(out, m.ingest_queue_drops);
 }
 
 void read_metrics(bytes::Reader& rd, StreamCycleMetrics& m) {
@@ -73,6 +78,11 @@ void read_metrics(bytes::Reader& rd, StreamCycleMetrics& m) {
   m.checkpoint_ms = rd.f64();
   m.cycle_ms = rd.f64();
   m.pool_idle_frac = rd.f64();
+  m.late_applied = rd.i32();
+  m.ingest_reconnects = rd.i32();
+  m.ingest_frames_corrupt = rd.i32();
+  m.ingest_frames_resynced = rd.i32();
+  m.ingest_queue_drops = rd.i32();
 }
 
 }  // namespace
@@ -90,12 +100,19 @@ Status save_checkpoint(const std::string& path, const CheckpointData& data) {
   bytes::put_u64(payload, data.dim);
   bytes::put_i32(payload, data.cycles);
   payload.push_back(data.schedule);
+  bytes::put_i32(payload, data.overlap_depth);
   bytes::put_i32(payload, data.next_cycle);
   bytes::put_blob(payload, data.rng_modelerr);
   bytes::put_f64_span(payload, data.ensemble);
   payload.push_back(data.have_increment);
   bytes::put_f64_span(payload, data.buf_prior);
   bytes::put_f64_span(payload, data.buf_post);
+  bytes::put_u64(payload, data.ring.size());
+  for (const auto& s : data.ring) {
+    bytes::put_i32(payload, s.cycle);
+    bytes::put_f64_span(payload, s.prior);
+    bytes::put_f64_span(payload, s.post);
+  }
   bytes::put_blob(payload, data.applied);
   bytes::put_blob(payload, data.stream_state);
   bytes::put_blob(payload, data.filter_state);
@@ -148,12 +165,23 @@ Status load_checkpoint(const std::string& path, CheckpointData& data) {
   data.dim = pr.u64();
   data.cycles = pr.i32();
   data.schedule = pr.u8();
+  data.overlap_depth = pr.i32();
   data.next_cycle = pr.i32();
   if (!pr.blob(data.rng_modelerr) || !pr.f64_vec(data.ensemble))
     return Status(StatusCode::kCorruptData, "checkpoint payload malformed");
   data.have_increment = pr.u8();
-  if (!pr.f64_vec(data.buf_prior) || !pr.f64_vec(data.buf_post) || !pr.blob(data.applied) ||
-      !pr.blob(data.stream_state) || !pr.blob(data.filter_state))
+  if (!pr.f64_vec(data.buf_prior) || !pr.f64_vec(data.buf_post))
+    return Status(StatusCode::kCorruptData, "checkpoint payload malformed");
+  const std::uint64_t n_ring = pr.u64();
+  data.ring.clear();
+  for (std::uint64_t i = 0; i < n_ring && pr.ok(); ++i) {
+    CheckpointData::StagedSlotData s;
+    s.cycle = pr.i32();
+    if (!pr.f64_vec(s.prior) || !pr.f64_vec(s.post))
+      return Status(StatusCode::kCorruptData, "checkpoint payload malformed");
+    data.ring.push_back(std::move(s));
+  }
+  if (!pr.blob(data.applied) || !pr.blob(data.stream_state) || !pr.blob(data.filter_state))
     return Status(StatusCode::kCorruptData, "checkpoint payload malformed");
   const std::uint64_t n_metrics = pr.u64();
   data.metrics.clear();
@@ -169,6 +197,9 @@ Status load_checkpoint(const std::string& path, CheckpointData& data) {
       (data.buf_prior.size() != data.ensemble.size() ||
        data.buf_post.size() != data.ensemble.size()))
     return Status(StatusCode::kCorruptData, "checkpoint analysis buffers inconsistent");
+  for (const auto& s : data.ring)
+    if (s.prior.size() != data.ensemble.size() || s.post.size() != data.ensemble.size())
+      return Status(StatusCode::kCorruptData, "checkpoint staged slot inconsistent");
   return Status::Ok();
 }
 

@@ -22,7 +22,9 @@ namespace turbda::stream {
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B434454u;  // "TDCK" LE
 // v2: StreamCycleMetrics grew qc_ms / checkpoint_ms / pool_idle_frac.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// v3: overlap_depth config echo + deep-overlap staged-analysis ring;
+//     StreamCycleMetrics grew late_applied / ingest_* columns.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Everything a snapshot holds. The config echo fields let resume() refuse a
 /// checkpoint taken under a different setup instead of diverging silently.
@@ -32,7 +34,8 @@ struct CheckpointData {
   std::uint64_t n_members = 0;
   std::uint64_t dim = 0;
   std::int32_t cycles = 0;
-  std::uint8_t schedule = 0;  ///< static_cast<uint8_t>(Schedule)
+  std::uint8_t schedule = 0;      ///< static_cast<uint8_t>(Schedule)
+  std::int32_t overlap_depth = 1; ///< Overlapped pipeline depth K
 
   std::int32_t next_cycle = 0;  ///< first cycle the resumed run executes
 
@@ -43,6 +46,15 @@ struct CheckpointData {
   // have_increment).
   std::uint8_t have_increment = 0;
   std::vector<double> buf_prior, buf_post;
+
+  /// Deep-overlap (K > 1) ring: analyses staged but not yet applied at the
+  /// snapshot point, completed (joined) before serialization so the bytes
+  /// are deterministic. Empty for Serial and K == 1 runs.
+  struct StagedSlotData {
+    std::int32_t cycle = -1;
+    std::vector<double> prior, post;
+  };
+  std::vector<StagedSlotData> ring;
 
   std::vector<std::uint8_t> applied;  ///< per-window duplicate guard, size cycles
   std::vector<std::uint8_t> stream_state;

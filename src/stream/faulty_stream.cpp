@@ -24,6 +24,9 @@ FaultyStream::FaultyStream(FaultConfig cfg, ObservationStream& inner)
 
 void FaultyStream::produce(int cycle) {
   inner_.produce(cycle);
+  // Disabled decorator: leave the batches where they are so collect() and
+  // checkpointing stay bitwise identical to the undecorated stream.
+  if (disabled()) return;
   // Take over every batch the inner stream has queued (arrival stamps
   // intact, however far in the future) so corruption happens exactly once,
   // in produce order, regardless of when the driver polls collect().
@@ -95,6 +98,10 @@ void FaultyStream::corrupt(ObsBatch& b, std::vector<ObsBatch>& extra) {
 }
 
 void FaultyStream::collect(double now_cycles, std::vector<ObsBatch>& out) {
+  if (disabled()) {
+    inner_.collect(now_cycles, out);
+    return;
+  }
   std::lock_guard<std::mutex> lk(mu_);
   const std::size_t first = out.size();
   auto it = std::stable_partition(pending_.begin(), pending_.end(),
@@ -111,6 +118,7 @@ FaultCounters FaultyStream::counters() const {
 }
 
 bool FaultyStream::save_state(std::vector<std::uint8_t>& out) const {
+  if (disabled()) return inner_.save_state(out);
   std::vector<std::uint8_t> inner_blob;
   if (!inner_.save_state(inner_blob)) return false;
   std::lock_guard<std::mutex> lk(mu_);
@@ -138,6 +146,7 @@ bool FaultyStream::save_state(std::vector<std::uint8_t>& out) const {
 }
 
 bool FaultyStream::restore_state(std::span<const std::uint8_t> in) {
+  if (disabled()) return inner_.restore_state(in);
   bytes::Reader rd(in);
   const std::uint64_t n_pending = rd.u64();
   std::vector<ObsBatch> pending;

@@ -13,6 +13,12 @@
 // through untouched — faults corrupt *content*, the delivery schedule stays
 // the inner stream's) and replays the inner stream's arrival gating in its
 // own collect().
+//
+// With every fault probability zero the decorator is fully transparent:
+// produce/collect/save_state/restore_state forward straight to the inner
+// stream, so runs — and checkpoint blobs — are bitwise identical to the
+// undecorated stream's. Scenario harnesses can therefore keep the wrapper
+// in place unconditionally and toggle faults by config alone.
 #pragma once
 
 #include <cstdint>
@@ -72,7 +78,16 @@ class FaultyStream final : public ObservationStream {
   bool save_state(std::vector<std::uint8_t>& out) const override;
   bool restore_state(std::span<const std::uint8_t> in) override;
 
+  [[nodiscard]] IngestCounters ingest_counters() const override {
+    return inner_.ingest_counters();
+  }
+
  private:
+  /// All fault probabilities zero => pure passthrough decorator.
+  [[nodiscard]] bool disabled() const {
+    return cfg_.nan_prob == 0.0 && cfg_.inf_prob == 0.0 && cfg_.outlier_prob == 0.0 &&
+           cfg_.stuck_prob == 0.0 && cfg_.duplicate_prob == 0.0 && cfg_.truncate_prob == 0.0;
+  }
   /// Corrupts one batch in place; may append a duplicate to pending_.
   /// Called with mu_ held.
   void corrupt(ObsBatch& b, std::vector<ObsBatch>& extra);

@@ -1,0 +1,66 @@
+// Capped exponential reconnect backoff with deterministic jitter.
+//
+// Every transport retry loop (socket reconnect, listener re-accept, tail
+// reopen) shares this policy: delay_n = min(base * multiplier^n, cap),
+// stretched by a jitter factor drawn from a Philox substream keyed on the
+// attempt index. Keying on the attempt makes the whole schedule a pure
+// function of (seed, config, attempt) — two instances with the same seed
+// produce bit-identical delay sequences, which is what lets tests assert the
+// exact schedule instead of sleeping and hoping. Jitter spreads simultaneous
+// reconnect storms without sacrificing that reproducibility.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "rng/rng.hpp"
+
+namespace turbda::stream::ingest {
+
+struct BackoffConfig {
+  double base_ms = 50.0;    ///< first-retry delay
+  double cap_ms = 2000.0;   ///< exponential growth saturates here
+  double multiplier = 2.0;  ///< per-attempt growth factor
+  /// Jitter spread: each delay is scaled by U[1 - jitter_frac, 1 + jitter_frac).
+  double jitter_frac = 0.2;
+  std::uint64_t seed = 42;  ///< jitter substream seed
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig cfg) : cfg_(cfg), rng_(rng::Rng(cfg.seed).substream(11)) {
+    TURBDA_REQUIRE(cfg_.base_ms > 0.0 && cfg_.cap_ms >= cfg_.base_ms && cfg_.multiplier >= 1.0,
+                   "Backoff: need base_ms > 0, cap_ms >= base_ms, multiplier >= 1");
+    TURBDA_REQUIRE(cfg_.jitter_frac >= 0.0 && cfg_.jitter_frac < 1.0,
+                   "Backoff: jitter_frac must be in [0, 1)");
+  }
+
+  /// Delay before the next retry, advancing the attempt counter.
+  double next_delay_ms() { return delay_for_attempt(attempt_++); }
+
+  /// The delay attempt `i` would use — the schedule as a pure function, for
+  /// tests and for logging without consuming the counter.
+  [[nodiscard]] double delay_for_attempt(std::uint64_t i) const {
+    double d = cfg_.base_ms;
+    for (std::uint64_t k = 0; k < i && d < cfg_.cap_ms; ++k) d *= cfg_.multiplier;
+    d = std::min(d, cfg_.cap_ms);
+    if (cfg_.jitter_frac > 0.0) {
+      rng::Rng rg = rng_.substream(i);
+      d *= 1.0 + cfg_.jitter_frac * (2.0 * rg.uniform() - 1.0);
+    }
+    return d;
+  }
+
+  /// Call on success: the next failure starts the schedule over.
+  void reset() { attempt_ = 0; }
+
+  [[nodiscard]] std::uint64_t attempts() const { return attempt_; }
+
+ private:
+  BackoffConfig cfg_;
+  rng::Rng rng_;  ///< substream parent; jitter keyed per attempt
+  std::uint64_t attempt_ = 0;
+};
+
+}  // namespace turbda::stream::ingest

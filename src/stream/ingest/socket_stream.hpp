@@ -1,0 +1,77 @@
+// Localhost TCP transport for live observation ingestion.
+//
+// SocketStream is the consumer side and comes in two modes:
+//   - listen: bind/listen on 127.0.0.1:port and treat each accepted feeder
+//     connection as the link; when the feeder dies, re-accepting the next
+//     connection IS the reconnect (the consumer owns the well-known port, so
+//     a restarted feeder finds it again — the usual operational topology);
+//   - connect: dial a remote listener (useful when the feeder is the
+//     long-lived side).
+//
+// SocketWriter is the feeder side: a dialing client with send_all(). Both
+// ends are plain blocking POSIX sockets driven through poll() timeouts so
+// every wait is bounded and the caller's backoff policy stays in charge.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "stream/ingest/ingest_source.hpp"
+
+namespace turbda::stream::ingest {
+
+struct SocketStreamConfig {
+  std::uint16_t port = 0;
+  bool listen = true;                ///< listen-and-accept vs dial-out
+  std::string host = "127.0.0.1";    ///< dial target (connect mode)
+  int connect_timeout_ms = 250;      ///< one accept/dial wait slice
+};
+
+class SocketStream final : public IngestSource {
+ public:
+  explicit SocketStream(SocketStreamConfig cfg);
+  ~SocketStream() override;
+
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  Status connect() override;
+  Status read_some(std::span<std::uint8_t> buf, int timeout_ms, std::size_t& got) override;
+  void close() override;
+  [[nodiscard]] const char* kind() const override { return "socket"; }
+
+  /// Bound port (listen mode; resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+ private:
+  Status ensure_listener();
+  void close_conn();
+
+  SocketStreamConfig cfg_;
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+};
+
+/// Feeder-side client: dial the consumer, push framed bytes.
+class SocketWriter {
+ public:
+  SocketWriter() = default;
+  ~SocketWriter();
+
+  SocketWriter(const SocketWriter&) = delete;
+  SocketWriter& operator=(const SocketWriter&) = delete;
+
+  /// Dials host:port; kUnavailable while the listener is absent.
+  Status connect(const std::string& host, std::uint16_t port, int timeout_ms = 250);
+  /// Writes the whole span; kUnavailable when the peer went away mid-send.
+  Status send_all(std::span<const std::uint8_t> data);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace turbda::stream::ingest

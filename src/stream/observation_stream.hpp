@@ -77,8 +77,15 @@ class ObservationStream {
   /// Checkpoint support: append the stream's mutable state (producer
   /// counters, undelivered batches, truth buffer) to `out` so a restored
   /// stream replays the exact same deliveries. Returns false when the stream
-  /// cannot be checkpointed (e.g. a live network source) — the checkpoint
-  /// writer then refuses rather than silently snapshotting half a pipeline.
+  /// cannot be checkpointed — the checkpoint writer then refuses rather than
+  /// silently snapshotting half a pipeline.
+  ///
+  /// The base-class default is that refusal: it returns false and MUST NOT
+  /// append anything to `out` (it is not a "save nothing successfully"
+  /// no-op). Implementations that do checkpoint append their bytes and
+  /// return true; decorators forward to the wrapped stream so the blob is
+  /// bitwise identical to the bare stream's whenever the decorator itself
+  /// holds no state.
   virtual bool save_state(std::vector<std::uint8_t>& out) const {
     (void)out;
     return false;
@@ -86,11 +93,24 @@ class ObservationStream {
 
   /// Restores state written by save_state(); `in` holds exactly the bytes
   /// this stream appended. Returns false on malformed input, leaving the
-  /// stream unspecified (callers abandon it on failure).
+  /// stream unspecified (callers abandon it on failure). The base-class
+  /// default refuses every input (matching the save_state default) — it
+  /// does not treat an empty blob as success.
   virtual bool restore_state(std::span<const std::uint8_t> in) {
     (void)in;
     return false;
   }
+
+  /// Live-transport health counters, all zero for in-process streams.
+  /// Decorators forward; the cycling driver diffs successive snapshots into
+  /// per-cycle metrics and the `turbda_ingest_*` registry counters.
+  struct IngestCounters {
+    std::uint64_t reconnects = 0;       ///< transport re-establishments after a drop
+    std::uint64_t frames_corrupt = 0;   ///< wire frames refused (CRC/header damage)
+    std::uint64_t frames_resynced = 0;  ///< frames recovered after skipping garbage
+    std::uint64_t queue_drops = 0;      ///< batches evicted by queue backpressure
+  };
+  [[nodiscard]] virtual IngestCounters ingest_counters() const { return {}; }
 };
 
 }  // namespace turbda::stream

@@ -55,6 +55,11 @@ void record_cycle_telemetry(const StreamCycleMetrics& cm) {
   static telemetry::Counter& c_fail = reg.counter("turbda_analysis_failures_total");
   static telemetry::Counter& c_spread = reg.counter("turbda_spread_recoveries_total");
   static telemetry::Counter& c_degraded = reg.counter("turbda_degraded_cycles_total");
+  static telemetry::Counter& c_late = reg.counter("turbda_ingest_late_applied_total");
+  static telemetry::Counter& c_reconn = reg.counter("turbda_ingest_reconnects_total");
+  static telemetry::Counter& c_corrupt = reg.counter("turbda_ingest_frames_corrupt_total");
+  static telemetry::Counter& c_resync = reg.counter("turbda_ingest_frames_resynced_total");
+  static telemetry::Counter& c_qdrops = reg.counter("turbda_ingest_queue_drops_total");
   static telemetry::Histogram& h_cycle = reg.histogram("turbda_cycle_ms");
   static telemetry::Histogram& h_fcst = reg.histogram("turbda_forecast_ms");
   static telemetry::Histogram& h_an = reg.histogram("turbda_analysis_ms");
@@ -71,6 +76,11 @@ void record_cycle_telemetry(const StreamCycleMetrics& cm) {
   c_fail.inc(static_cast<std::uint64_t>(cm.analysis_failures));
   c_spread.inc(static_cast<std::uint64_t>(cm.spread_recoveries));
   if (cm.degraded) c_degraded.inc();
+  c_late.inc(static_cast<std::uint64_t>(cm.late_applied));
+  c_reconn.inc(static_cast<std::uint64_t>(cm.ingest_reconnects));
+  c_corrupt.inc(static_cast<std::uint64_t>(cm.ingest_frames_corrupt));
+  c_resync.inc(static_cast<std::uint64_t>(cm.ingest_frames_resynced));
+  c_qdrops.inc(static_cast<std::uint64_t>(cm.ingest_queue_drops));
   h_cycle.observe(cm.cycle_ms);
   h_fcst.observe(cm.forecast_ms);
   if (cm.batches_assimilated > 0 || cm.analysis_failures > 0) h_an.observe(cm.analysis_ms);
@@ -82,6 +92,16 @@ void record_cycle_telemetry(const StreamCycleMetrics& cm) {
   if (cm.obs_arrival_cycles >= 0.0)
     g_slack.set(static_cast<double>(cm.cycle + 1) - cm.obs_arrival_cycles);
   if (cm.degraded) TURBDA_TRACE_INSTANT("status.degraded_cycle");
+}
+
+/// Per-cycle delta of the stream's cumulative transport counters (all zero
+/// for in-process streams).
+void fill_ingest_delta(StreamCycleMetrics& cm, const ObservationStream::IngestCounters& base,
+                       const ObservationStream::IngestCounters& now) {
+  cm.ingest_reconnects = static_cast<int>(now.reconnects - base.reconnects);
+  cm.ingest_frames_corrupt = static_cast<int>(now.frames_corrupt - base.frames_corrupt);
+  cm.ingest_frames_resynced = static_cast<int>(now.frames_resynced - base.frames_resynced);
+  cm.ingest_queue_drops = static_cast<int>(now.queue_drops - base.queue_drops);
 }
 
 }  // namespace
@@ -108,6 +128,8 @@ RealtimeRunner::RealtimeRunner(RealtimeConfig cfg, ObservationStream& stream,
   TURBDA_REQUIRE(cfg_.cycles >= 1 && cfg_.n_members >= 2, "bad realtime configuration");
   TURBDA_REQUIRE(cfg_.deadline_slack_cycles >= 0.0 && cfg_.max_stale_cycles >= 0,
                  "bad deadline configuration");
+  TURBDA_REQUIRE(cfg_.overlap_depth >= 1 && cfg_.late_r_inflation >= 0.0,
+                 "bad overlap-depth configuration");
   TURBDA_REQUIRE(cfg_.spread_floor >= 0.0 && cfg_.spread_ceiling >= 0.0 &&
                      (cfg_.spread_ceiling == 0.0 || cfg_.spread_floor < cfg_.spread_ceiling),
                  "bad spread-watchdog configuration");
@@ -186,6 +208,13 @@ RealtimeRunner::CollectResult RealtimeRunner::collect_batches(int cycle) {
       res.apply.push_back(std::move(b));
     } else if (cfg_.catch_up && (age <= cfg_.max_stale_cycles || stale_inflation)) {
       res.apply.push_back(std::move(b));
+    } else if (cfg_.catch_up && cfg_.schedule == Schedule::Overlapped &&
+               cfg_.overlap_depth > 1 &&
+               age <= cfg_.max_stale_cycles + (cfg_.overlap_depth - 1)) {
+      // Deep overlap: a batch up to K-1 cycles past the staleness cutoff is
+      // still in flight as a K-window-late increment rather than dropped —
+      // assimilate_batches forces age-dependent R inflation on it.
+      res.apply.push_back(std::move(b));
     } else {
       ++res.discarded;
     }
@@ -238,6 +267,16 @@ void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBat
       opts.r_scale = rep.r_scale;
       if (rep.rejected_total() > 0) opts.obs_mask = mask;
     }
+    if (age > cfg_.max_stale_cycles && cfg_.late_r_inflation > 0.0) {
+      // Deep-late information is never taken at face value: even with QC off
+      // (or configured without stale inflation), a batch past the staleness
+      // cutoff gets its R inflated by age before it may touch the ensemble.
+      opts.r_scale = std::max(
+          opts.r_scale,
+          std::min(1.0 + static_cast<double>(age) * cfg_.late_r_inflation,
+                   cfg_.qc.max_r_scale));
+      cm.max_r_scale = std::max(cm.max_r_scale, opts.r_scale);
+    }
     da::AnalysisStats st;
     const Status s = filter_->try_analyze(target, b.y, stream_.h(), stream_.r(), opts, &st);
     if (!s.ok()) {
@@ -254,6 +293,7 @@ void RealtimeRunner::assimilate_batches(da::Ensemble& target, std::vector<ObsBat
     if (st.solver_failures > 0) cm.degraded = true;
     if (b.cycle >= 0 && b.cycle < cfg_.cycles) applied_[static_cast<std::size_t>(b.cycle)] = 1;
     ++cm.batches_assimilated;
+    if (age > cfg_.max_stale_cycles) ++cm.late_applied;
     cm.max_batch_age = std::max(cm.max_batch_age, cycle - b.cycle);
   }
   cm.analysis_ms = ms_since(t_an);
@@ -318,6 +358,7 @@ void RealtimeRunner::maybe_checkpoint(int completed_cycle,
   data.dim = d;
   data.cycles = cfg_.cycles;
   data.schedule = static_cast<std::uint8_t>(cfg_.schedule);
+  data.overlap_depth = cfg_.overlap_depth;
   data.next_cycle = next;
   rng_modelerr_->save_state(data.rng_modelerr);
   const double* ep = ens_->data().data();
@@ -328,6 +369,26 @@ void RealtimeRunner::maybe_checkpoint(int completed_cycle,
     const double* qp = buf_post_->data().data();
     data.buf_prior.assign(pp, pp + cfg_.n_members * d);
     data.buf_post.assign(qp, qp + cfg_.n_members * d);
+  }
+  if (cfg_.schedule == Schedule::Overlapped && cfg_.overlap_depth > 1) {
+    // Completing (joining + merging — NOT applying) every in-flight slot is
+    // numerics-neutral: the uninterrupted run produces the exact same staged
+    // buffers, just later. It makes the serialized ring deterministic.
+    std::vector<StagedSlot*> pend;
+    for (auto& s : ring_)
+      if (s.pending) pend.push_back(&s);
+    std::sort(pend.begin(), pend.end(),
+              [](const StagedSlot* a, const StagedSlot* b) { return a->cycle < b->cycle; });
+    for (StagedSlot* s : pend) {
+      complete_slot(*s, metrics);
+      CheckpointData::StagedSlotData sd;
+      sd.cycle = s->cycle;
+      const double* pp = s->prior->data().data();
+      const double* qp = s->post->data().data();
+      sd.prior.assign(pp, pp + cfg_.n_members * d);
+      sd.post.assign(qp, qp + cfg_.n_members * d);
+      data.ring.push_back(std::move(sd));
+    }
   }
   data.applied = applied_;
   if (!stream_.save_state(data.stream_state)) {
@@ -362,6 +423,7 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base
   buf_prior_.reset();
   buf_post_.reset();
   have_increment_ = false;
+  ring_.clear();
   checkpoint_status_ = Status::Ok();
 
   ens_.emplace(cfg_.n_members, d);
@@ -381,8 +443,10 @@ std::vector<StreamCycleMetrics> RealtimeRunner::run(std::span<const double> base
   std::vector<StreamCycleMetrics> metrics;
   if (cfg_.schedule == Schedule::Serial)
     run_serial(0, metrics);
-  else
+  else if (cfg_.overlap_depth == 1)
     run_overlapped(0, metrics);
+  else
+    run_overlapped_deep(0, metrics);
   return metrics;
 }
 
@@ -394,13 +458,23 @@ Status RealtimeRunner::resume(const std::string& path,
 
   const std::size_t d = forecast_model_.dim();
   if (data.seed != cfg_.seed || data.n_members != cfg_.n_members || data.dim != d ||
-      data.cycles != cfg_.cycles || data.schedule != static_cast<std::uint8_t>(cfg_.schedule))
+      data.cycles != cfg_.cycles || data.schedule != static_cast<std::uint8_t>(cfg_.schedule) ||
+      data.overlap_depth != cfg_.overlap_depth)
     return Status(StatusCode::kInvalidArgument,
                   "checkpoint was written under a different configuration");
   if (data.next_cycle <= 0 || data.next_cycle >= cfg_.cycles)
     return Status(StatusCode::kCorruptData, "checkpoint cycle index out of range");
   if (data.applied.size() != static_cast<std::size_t>(cfg_.cycles))
     return Status(StatusCode::kCorruptData, "checkpoint duplicate-guard size mismatch");
+  const bool deep = cfg_.schedule == Schedule::Overlapped && cfg_.overlap_depth > 1;
+  if (!deep && !data.ring.empty())
+    return Status(StatusCode::kCorruptData,
+                  "checkpoint staged slots present but schedule is not deep-overlapped");
+  for (const auto& sd : data.ring) {
+    if (sd.cycle < 0 || sd.cycle >= data.next_cycle ||
+        data.next_cycle - sd.cycle > cfg_.overlap_depth)
+      return Status(StatusCode::kCorruptData, "checkpoint staged slot cycle out of range");
+  }
   if (!stream_.restore_state(data.stream_state))
     return Status(StatusCode::kCorruptData, "stream state in checkpoint is malformed");
   if (filter_ != nullptr && !filter_->restore_state(data.filter_state))
@@ -425,14 +499,34 @@ Status RealtimeRunner::resume(const std::string& path,
     std::copy(data.buf_prior.begin(), data.buf_prior.end(), buf_prior_->data().data());
     std::copy(data.buf_post.begin(), data.buf_post.end(), buf_post_->data().data());
   }
+  ring_.clear();
+  if (deep) {
+    // Restored slots were completed (joined + metrics merged) before the
+    // save; they only await their application cycle.
+    ring_.resize(static_cast<std::size_t>(cfg_.overlap_depth));
+    for (const auto& sd : data.ring) {
+      StagedSlot& s = ring_[static_cast<std::size_t>(sd.cycle % cfg_.overlap_depth)];
+      if (s.pending)
+        return Status(StatusCode::kCorruptData, "checkpoint staged slots collide");
+      s.cycle = sd.cycle;
+      s.pending = true;
+      s.completed = true;
+      s.prior.emplace(cfg_.n_members, d);
+      s.post.emplace(cfg_.n_members, d);
+      std::copy(sd.prior.begin(), sd.prior.end(), s.prior->data().data());
+      std::copy(sd.post.begin(), sd.post.end(), s.post->data().data());
+    }
+  }
 
   if (filter_ != nullptr) filter_->prepare(stream_.h(), stream_.r());
 
   metrics_out = std::move(data.metrics);
   if (cfg_.schedule == Schedule::Serial)
     run_serial(data.next_cycle, metrics_out);
-  else
+  else if (cfg_.overlap_depth == 1)
     run_overlapped(data.next_cycle, metrics_out);
+  else
+    run_overlapped_deep(data.next_cycle, metrics_out);
   return Status::Ok();
 }
 
@@ -443,6 +537,7 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
     TURBDA_SPAN("runner.cycle");
     const PoolIdleProbe idle_probe;
     const auto t_cycle = Clock::now();
+    const auto ing0 = stream_.ingest_counters();
     StreamCycleMetrics cm;
     cm.cycle = k;
     cm.time_hours = (k + 1) * cfg_.window_hours;
@@ -478,6 +573,7 @@ void RealtimeRunner::run_serial(int start_cycle, std::vector<StreamCycleMetrics>
     cm.spread_post = ens_->mean_spread();
     cm.cycle_ms = ms_since(t_cycle);
     cm.pool_idle_frac = idle_probe.idle_frac();
+    fill_ingest_delta(cm, ing0, stream_.ingest_counters());
     metrics.push_back(cm);
 
     if (hook_) {
@@ -511,6 +607,7 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
     TURBDA_SPAN("runner.cycle");
     const PoolIdleProbe idle_probe;
     const auto t_cycle = Clock::now();
+    const auto ing0 = stream_.ingest_counters();
     StreamCycleMetrics cm;
     cm.cycle = k;
     cm.time_hours = (k + 1) * cfg_.window_hours;
@@ -550,6 +647,7 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
       cm.spread_post = ens_->mean_spread();
       cm.cycle_ms = ms_since(t_cycle);
       cm.pool_idle_frac = idle_probe.idle_frac();
+      fill_ingest_delta(cm, ing0, stream_.ingest_counters());
       metrics.push_back(cm);
       record_cycle_telemetry(metrics.back());
       if (hook_) {
@@ -627,9 +725,227 @@ void RealtimeRunner::run_overlapped(int start_cycle, std::vector<StreamCycleMetr
     cm.forecast_ms = ms_since(t_fcst);
     cm.cycle_ms = ms_since(t_cycle);
     cm.pool_idle_frac = idle_probe.idle_frac();
+    fill_ingest_delta(cm, ing0, stream_.ingest_counters());
     metrics.push_back(cm);
     maybe_checkpoint(k, metrics);
     record_cycle_telemetry(metrics.back());
+  }
+}
+
+void RealtimeRunner::complete_slot(StagedSlot& slot, std::vector<StreamCycleMetrics>& metrics) {
+  if (!slot.pending || slot.completed) return;
+  if (slot.task.valid()) slot.task.get();
+  slot.completed = true;
+  if (slot.error) {
+    std::exception_ptr e = slot.error;
+    slot.error = nullptr;
+    std::rethrow_exception(e);
+  }
+  slot.batches.clear();
+  if (slot.row >= metrics.size()) return;  // restored slot: row merged pre-save
+  StreamCycleMetrics& row = metrics[slot.row];
+  const StreamCycleMetrics& an = slot.an;
+  row.batches_assimilated += an.batches_assimilated;
+  row.batches_rejected += an.batches_rejected;
+  row.obs_rejected += an.obs_rejected;
+  row.late_applied += an.late_applied;
+  row.analysis_failures += an.analysis_failures;
+  row.solver_fallbacks += an.solver_fallbacks;
+  row.spread_recoveries += an.spread_recoveries;
+  row.max_batch_age = std::max(row.max_batch_age, an.max_batch_age);
+  row.max_r_scale = std::max(row.max_r_scale, an.max_r_scale);
+  row.degraded = row.degraded || an.degraded;
+  row.analysis_ms += an.analysis_ms;
+  row.qc_ms += an.qc_ms;
+  record_cycle_telemetry(row);
+}
+
+void RealtimeRunner::run_overlapped_deep(int start_cycle,
+                                         std::vector<StreamCycleMetrics>& metrics) {
+  auto& pool = parallel::global_pool();
+  const int K = cfg_.overlap_depth;
+  if (ring_.size() != static_cast<std::size_t>(K))
+    ring_.resize(static_cast<std::size_t>(K));
+  metrics.reserve(static_cast<std::size_t>(cfg_.cycles));
+
+  // The increment staged at cycle c lands at cycle c+K (members so
+  // checkpoint/resume can replay a half-applied pipeline exactly).
+  const auto apply_slot = [this](StagedSlot& slot) {
+    for (std::size_t m = 0; m < cfg_.n_members; ++m) {
+      auto row = ens_->member(m);
+      const auto post = slot.post->member(m);
+      const auto prior = slot.prior->member(m);
+      for (std::size_t i = 0; i < row.size(); ++i) row[i] += post[i] - prior[i];
+    }
+    slot.pending = false;
+  };
+
+  // Prologue: nothing to overlap with yet (resume restored the pipeline
+  // mid-flight and skips it).
+  if (start_cycle == 0) {
+    stream_.produce(0);
+    forecast_members(0);
+  }
+
+  for (int k = start_cycle; k < cfg_.cycles; ++k) {
+    TURBDA_SPAN("runner.cycle");
+    const PoolIdleProbe idle_probe;
+    const auto t_cycle = Clock::now();
+    const auto ing0 = stream_.ingest_counters();
+    StreamCycleMetrics cm;
+    cm.cycle = k;
+    cm.time_hours = (k + 1) * cfg_.window_hours;
+
+    const auto truth = stream_.truth(k);
+    TURBDA_REQUIRE(!truth.empty(), "stream did not retain the truth state for this cycle");
+    cm.rmse_prior = rmse_vs_truth(*ens_, truth);
+    cm.spread_prior = ens_->mean_spread();
+
+    // Apply the increment staged K cycles ago — its ring slot is the one
+    // this cycle is about to reuse.
+    {
+      StagedSlot& due = ring_[static_cast<std::size_t>(k % K)];
+      if (due.pending && due.cycle == k - K) {
+        complete_slot(due, metrics);
+        apply_slot(due);
+      }
+    }
+
+    CollectResult col;
+    if (filter_ != nullptr) {
+      col = collect_batches(k);
+      cm.deadline_miss = !col.own_on_time;
+      cm.obs_arrival_cycles = col.own_arrival;
+      cm.batches_discarded = col.discarded;
+      if (cm.deadline_miss) TURBDA_TRACE_INSTANT("status.deadline_miss");
+    } else {
+      discard_unconsumed(k);
+    }
+
+    const bool last = (k + 1 == cfg_.cycles);
+    if (last) {
+      // Drain the ring in staged order, then this cycle's own batches, so
+      // the final ensemble reflects every admitted batch.
+      for (int c = std::max(k - K + 1, 0); c < k; ++c) {
+        StagedSlot& s = ring_[static_cast<std::size_t>(c % K)];
+        if (s.pending && s.cycle == c) {
+          complete_slot(s, metrics);
+          apply_slot(s);
+        }
+      }
+      assimilate_batches(*ens_, col.apply, k, cm);
+      cm.rmse_post = rmse_vs_truth(*ens_, truth);
+      cm.spread_post = ens_->mean_spread();
+      cm.cycle_ms = ms_since(t_cycle);
+      cm.pool_idle_frac = idle_probe.idle_frac();
+      fill_ingest_delta(cm, ing0, stream_.ingest_counters());
+      metrics.push_back(cm);
+      record_cycle_telemetry(metrics.back());
+      if (hook_) {
+        const auto mean = ens_->mean();
+        hook_(k, mean);
+      }
+      break;
+    }
+
+    // Post metrics reflect the state after this cycle's update step (the
+    // lag-K increment); this cycle's own analysis lands at k+K.
+    cm.rmse_post = rmse_vs_truth(*ens_, truth);
+    cm.spread_post = ens_->mean_spread();
+    if (hook_) {
+      const auto mean = ens_->mean();
+      hook_(k, mean);
+    }
+
+    // Analysis barrier: the shared filter and the duplicate ledger are not
+    // reentrant, so the previous cycle's staged task must retire before a
+    // new one is submitted. The ring still pays off — the *application* of
+    // each increment (and therefore straggler admission) is deferred K
+    // cycles, not one.
+    if (k > 0) {
+      StagedSlot& prev = ring_[static_cast<std::size_t>((k - 1) % K)];
+      if (prev.pending && prev.cycle == k - 1) complete_slot(prev, metrics);
+    }
+
+    StagedSlot& slot = ring_[static_cast<std::size_t>(k % K)];
+    const bool staged = !col.apply.empty();
+    if (staged) {
+      TURBDA_REQUIRE(!slot.pending, "deep-overlap ring slot still occupied");
+      slot.cycle = k;
+      slot.pending = true;
+      slot.completed = false;
+      slot.error = nullptr;
+      slot.row = static_cast<std::size_t>(-1);  // bound at push below
+      slot.an = StreamCycleMetrics{};
+      slot.an.cycle = k;
+      if (slot.prior.has_value()) {
+        slot.prior->data() = ens_->data();
+        slot.post->data() = ens_->data();
+      } else {
+        slot.prior.emplace(*ens_);
+        slot.post.emplace(*ens_);
+      }
+      slot.batches = std::move(col.apply);
+    }
+
+    // Fan the next window out over the pool: producer + member forecasts for
+    // k+1 run concurrently with the staged analysis below. Per-member work
+    // is partition-independent, so this stays bitwise identical for any
+    // pool size.
+    const int k1 = k + 1;
+    const std::vector<double> shared_err = draw_shared_error(k1);
+
+    const auto t_fcst = Clock::now();
+    std::vector<std::future<void>> tasks;
+    tasks.push_back(pool.submit([this, k1] {
+      TURBDA_SPAN("stream.produce");
+      stream_.produce(k1);
+    }));
+    std::size_t par = std::max<std::size_t>(pool.size(), 1);
+    if (cfg_.n_forecast_threads != 0) par = std::min(par, cfg_.n_forecast_threads);
+    if (!forecast_model_.concurrent_safe()) par = 1;
+    par = std::min(par, cfg_.n_members);
+    const std::size_t chunk = (cfg_.n_members + par - 1) / par;
+    for (std::size_t b = 0; b < cfg_.n_members; b += chunk) {
+      const std::size_t e = std::min(b + chunk, cfg_.n_members);
+      tasks.push_back(pool.submit(
+          [this, k1, b, e, &shared_err] { forecast_block(k1, b, e, shared_err); }));
+    }
+    if (staged) {
+      // The analysis failure mode is captured, not thrown: the task outlives
+      // this cycle body, so complete_slot() rethrows at the join.
+      slot.task = pool.submit([this, &slot, k] {
+        TURBDA_SPAN("runner.staged_analysis");
+        try {
+          assimilate_batches(*slot.post, slot.batches, k, slot.an);
+        } catch (...) {
+          slot.error = std::current_exception();
+        }
+      });
+    }
+
+    // Join only the forecast fan-out; the staged analysis keeps running
+    // into the next window (that deferral is the point of the ring).
+    std::exception_ptr err;
+    for (auto& t : tasks) {
+      try {
+        t.get();
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
+
+    cm.forecast_ms = ms_since(t_fcst);
+    cm.cycle_ms = ms_since(t_cycle);
+    cm.pool_idle_frac = idle_probe.idle_frac();
+    fill_ingest_delta(cm, ing0, stream_.ingest_counters());
+    metrics.push_back(cm);
+    if (staged) slot.row = metrics.size() - 1;
+    maybe_checkpoint(k, metrics);
+    // A staged cycle's telemetry is recorded at complete_slot(), once the
+    // analysis-side record has been merged into its row.
+    if (!staged) record_cycle_telemetry(metrics.back());
   }
 }
 
@@ -640,7 +956,9 @@ std::vector<std::string> stream_metrics_columns() {
           "obs_rejected", "batches_rejected", "max_r_scale",
           "analysis_failures", "solver_fallbacks", "spread_recoveries",
           "degraded", "forecast_ms", "analysis_ms", "qc_ms", "checkpoint_ms",
-          "cycle_ms", "pool_idle_frac"};
+          "cycle_ms", "pool_idle_frac", "late_applied", "ingest_reconnects",
+          "ingest_frames_corrupt", "ingest_frames_resynced",
+          "ingest_queue_drops"};
 }
 
 std::vector<double> stream_metrics_row(const StreamCycleMetrics& m) {
@@ -652,7 +970,11 @@ std::vector<double> stream_metrics_row(const StreamCycleMetrics& m) {
           m.max_r_scale, static_cast<double>(m.analysis_failures),
           static_cast<double>(m.solver_fallbacks), static_cast<double>(m.spread_recoveries),
           m.degraded ? 1.0 : 0.0, m.forecast_ms, m.analysis_ms, m.qc_ms, m.checkpoint_ms,
-          m.cycle_ms, m.pool_idle_frac};
+          m.cycle_ms, m.pool_idle_frac, static_cast<double>(m.late_applied),
+          static_cast<double>(m.ingest_reconnects),
+          static_cast<double>(m.ingest_frames_corrupt),
+          static_cast<double>(m.ingest_frames_resynced),
+          static_cast<double>(m.ingest_queue_drops)};
 }
 
 void write_stream_metrics_csv(const std::string& path,

@@ -17,6 +17,17 @@
 //    hiding analysis + delivery latency behind forecast compute). The last
 //    cycle drains synchronously so the final ensemble reflects every batch.
 //
+//    With overlap_depth K > 1 the double buffer generalizes to a ring of K
+//    staged-analysis slots: the analysis staged at cycle k is applied at
+//    cycle k+K, so the admission window for stragglers stretches by K-1
+//    cycles — a batch that would be dropped under K=1 is instead applied as
+//    a K-window-late increment with forced age-dependent R inflation
+//    (counted as late_applied). Analyses themselves stay serialized (the
+//    shared filter is not reentrant); deeper overlap trades increment
+//    freshness for tolerance of extreme delivery latency. All admission
+//    decisions stay in virtual time, so any K is bitwise reproducible
+//    across thread counts.
+//
 // Deadline semantics: the batch observing window k is "on time" if its
 // virtual arrival stamp is <= (k + 1) + deadline_slack_cycles; an on-time
 // batch is assimilated at its own cycle. A late batch falls back to
@@ -30,7 +41,9 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <future>
 #include <optional>
 #include <span>
 #include <string>
@@ -63,6 +76,16 @@ struct RealtimeConfig {
   std::size_t n_forecast_threads = 0;
 
   Schedule schedule = Schedule::Serial;
+  /// Overlapped pipeline depth K (ignored by Serial). 1 = the classic double
+  /// buffer (analysis applied one cycle later). K >= 2 stages analyses in a
+  /// ring of K slots applied K cycles later, stretching straggler admission
+  /// by K-1 cycles (see the schedule notes above).
+  int overlap_depth = 1;
+  /// R-inflation slope for deep-late batches (age beyond max_stale_cycles)
+  /// admitted through the overlap ring: r_scale >= 1 + age * late_r_inflation,
+  /// clamped by qc.max_r_scale. Applied even when QC is off — deep-late
+  /// information is never taken at face value.
+  double late_r_inflation = 0.5;
   /// Grace period beyond the window end (in window units) before a batch
   /// counts as late. 0 admits exactly the zero-latency batches.
   double deadline_slack_cycles = 0.0;
@@ -127,6 +150,15 @@ struct StreamCycleMetrics {
   int solver_fallbacks = 0;    ///< state columns that kept the forecast
   int spread_recoveries = 0;   ///< spread-watchdog interventions
   bool degraded = false;       ///< any degradation happened this cycle
+  // Live-ingestion telemetry (schema v3). late_applied is deterministic
+  // (virtual-time admission); the ingest_* columns are per-cycle deltas of
+  // the stream's transport counters — zero for in-process streams,
+  // wall-clock-dependent for live transports.
+  int late_applied = 0;           ///< batches applied with age > max_stale_cycles
+  int ingest_reconnects = 0;      ///< transport reconnects during this cycle
+  int ingest_frames_corrupt = 0;  ///< wire frames refused during this cycle
+  int ingest_frames_resynced = 0; ///< frames recovered after garbage skips
+  int ingest_queue_drops = 0;     ///< ingest-queue backpressure evictions
   // Wall-clock telemetry (measured, machine-dependent).
   double forecast_ms = 0.0;
   double analysis_ms = 0.0;
@@ -141,7 +173,8 @@ struct StreamCycleMetrics {
 /// Version of the StreamCycleMetrics CSV schema; bumped whenever columns are
 /// added, removed or reordered. Written as a `# stream_metrics_schema=N`
 /// comment line ahead of the CSV header.
-inline constexpr int kStreamMetricsSchemaVersion = 2;
+// v3: live-ingestion columns (late_applied, ingest_*).
+inline constexpr int kStreamMetricsSchemaVersion = 3;
 
 /// Column names for write_stream_metrics_csv, in the exact emitted order —
 /// the single source of truth the writer and the round-trip tests share.
@@ -217,6 +250,27 @@ class RealtimeRunner {
   void run_serial(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
   void run_overlapped(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
 
+  /// One deep-overlap ring entry: the analysis for `cycle`, staged on its
+  /// own prior/post buffer pair and applied overlap_depth cycles later.
+  struct StagedSlot {
+    int cycle = -1;
+    bool pending = false;    ///< staged; increment not yet applied
+    bool completed = false;  ///< analysis task joined, metrics merged
+    /// Metrics row the analysis-side record merges into (SIZE_MAX for slots
+    /// restored from a checkpoint — their rows were merged before the save).
+    std::size_t row = static_cast<std::size_t>(-1);
+    std::optional<da::Ensemble> prior, post;
+    std::vector<ObsBatch> batches;
+    StreamCycleMetrics an;  ///< metrics the analysis task accumulates
+    std::future<void> task;
+    std::exception_ptr error;
+  };
+  /// Joins the slot's analysis task, rethrows its failure, merges the
+  /// analysis-side metrics into the owning row and records that row's
+  /// telemetry. Idempotent once completed.
+  void complete_slot(StagedSlot& slot, std::vector<StreamCycleMetrics>& metrics);
+  void run_overlapped_deep(int start_cycle, std::vector<StreamCycleMetrics>& metrics);
+
   RealtimeConfig cfg_;
   ObservationStream& stream_;
   models::ForecastModel& forecast_model_;
@@ -231,6 +285,9 @@ class RealtimeRunner {
   /// Overlapped double buffer (members so checkpoint/resume can reach them).
   std::optional<da::Ensemble> buf_prior_, buf_post_;
   bool have_increment_ = false;
+  /// Deep-overlap staged-analysis ring, overlap_depth slots (K > 1 only);
+  /// slot index for the analysis staged at cycle c is c % overlap_depth.
+  std::vector<StagedSlot> ring_;
   Status checkpoint_status_;
 };
 

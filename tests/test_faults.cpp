@@ -178,6 +178,60 @@ TEST(FaultyStream, DisabledInjectionIsBitwisePassthrough) {
   EXPECT_EQ(wrapped.faults.batches_duplicated, 0u);
 }
 
+TEST(FaultyStream, DisabledDecoratorCheckpointIsBitwiseBareStream) {
+  // A zero-probability decorator must forward save/restore untouched: the
+  // checkpoint blob has to be bitwise identical to the bare stream's, and a
+  // decorator restored from a *bare* blob must continue identically.
+  stream::SyntheticStreamConfig sc;
+  sc.latency_cycles = 0.5;
+  sc.jitter_cycles = 0.3;
+
+  Lorenz96Config mc;
+  mc.dim = kDim;
+  mc.steps_per_window = 10;
+  da::IdentityObs h(kDim, kNx, kNy, kLev);
+  da::DiagonalR r(kDim, 1.0);
+  const auto truth0 = spun_up_truth();
+
+  Lorenz96 tm_bare(mc);
+  stream::SyntheticStream bare(sc, tm_bare, h, r, truth0);
+  for (int k = 0; k <= 5; ++k) bare.produce(k);
+  std::vector<std::uint8_t> blob_bare;
+  ASSERT_TRUE(bare.save_state(blob_bare));
+
+  Lorenz96 tm_wrapped(mc);
+  stream::SyntheticStream inner(sc, tm_wrapped, h, r, truth0);
+  stream::FaultyStream wrapped(stream::FaultConfig{}, inner);  // all probs zero
+  for (int k = 0; k <= 5; ++k) wrapped.produce(k);
+  std::vector<std::uint8_t> blob_wrapped;
+  ASSERT_TRUE(wrapped.save_state(blob_wrapped));
+
+  ASSERT_EQ(blob_bare.size(), blob_wrapped.size());
+  EXPECT_EQ(0, std::memcmp(blob_bare.data(), blob_wrapped.data(), blob_bare.size()));
+
+  // Restore a fresh disabled decorator from the BARE blob and continue.
+  Lorenz96 tm_resume(mc);
+  stream::SyntheticStream inner2(sc, tm_resume, h, r, truth0);
+  stream::FaultyStream resumed(stream::FaultConfig{}, inner2);
+  ASSERT_TRUE(resumed.restore_state(blob_bare));
+  std::vector<stream::ObsBatch> got_bare, got_resumed;
+  for (int k = 6; k <= 8; ++k) {
+    bare.produce(k);
+    resumed.produce(k);
+  }
+  bare.collect(1e18, got_bare);
+  resumed.collect(1e18, got_resumed);
+  ASSERT_EQ(got_bare.size(), got_resumed.size());
+  for (std::size_t i = 0; i < got_bare.size(); ++i) {
+    EXPECT_EQ(got_bare[i].cycle, got_resumed[i].cycle);
+    EXPECT_EQ(got_bare[i].valid_cycles, got_resumed[i].valid_cycles);
+    EXPECT_EQ(got_bare[i].arrival_cycles, got_resumed[i].arrival_cycles);
+    ASSERT_EQ(got_bare[i].y.size(), got_resumed[i].y.size());
+    EXPECT_EQ(0, std::memcmp(got_bare[i].y.data(), got_resumed[i].y.data(),
+                             got_bare[i].y.size() * sizeof(double)));
+  }
+}
+
 TEST(FaultyStream, InjectionIsDeterministic) {
   stream::FaultConfig fc;
   fc.nan_prob = 0.05;

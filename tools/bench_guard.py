@@ -13,7 +13,9 @@ Two row formats are understood, detected per file:
   - kernel benches (BENCH_sqg.json, BENCH_letkf.json): a "results" array
     keyed by (n, threads);
   - the streaming bench (BENCH_stream.json): a "scenarios" array keyed by
-    (name, schedule, n, members) — use `--metric cycle_ms` against it.
+    (name, schedule, n, members) — use `--metric cycle_ms` against it, or
+    `--metric ingest_catchup_ms` to track what the deep-overlap rows pay
+    per cycle to absorb late (age > max_stale) observation batches.
     Rows without their own n / members (older files) inherit the file-level
     values, so a --smoke fresh run only ever compares against baseline rows
     recorded at the same resolution.
