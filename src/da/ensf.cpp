@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simd/dense_kernels.hpp"
 #include "telemetry/trace.hpp"
 #include "tensor/gemm.hpp"
 
@@ -183,14 +184,23 @@ Status EnSF::analyze_impl(Ensemble& ens, std::span<const double> y,
     wx = tensor::matmul(logits, *x_used, cfg_.n_threads);
 
     // Euler–Maruyama update of each sample. Samples touch only their own row
-    // of z and draw from their own substream.
+    // of z and draw from their own substream. The per-element update
+    //   z += -(b z - sigma^2 s_prior) dt + clamp(sigma^2 h grad dt) + noise
+    // with the prior score s_prior = -(z - alpha wx)/beta^2 (Eq. 15) is
+    // regrouped by input vector so each pass is one contiguous
+    // runtime-dispatched kernel:
+    //   z = c0 z + c1 wx + clamp(cl grad, +/-max_like_step) + noise_sd xi.
     const double noise_sd = std::sqrt(std::max(sigma_sq, 0.0) * dt);
+    const double c0 = 1.0 - (b_t + sigma_sq / beta_sq) * dt;
+    const double c1 = sigma_sq * alpha * dt / beta_sq;
+    const double cl = sigma_sq * damping * dt;
     parallel::parallel_for(
         big_m,
         [&](std::size_t mb, std::size_t me) {
-          // Chunk-local scratch for the likelihood score.
+          const auto& dk = simd::active_dense_kernels();
+          // Chunk-local scratch for the likelihood score and the noise draw.
           std::vector<double> hx(h.obs_dim()), resid(h.obs_dim()), rinv_resid(h.obs_dim());
-          std::vector<double> like_grad(d);
+          std::vector<double> like_grad(d), noise(d);
           for (std::size_t m = mb; m < me; ++m) {
             auto zm = z.row(m);
             const auto wxm = wx.row(m);
@@ -203,21 +213,20 @@ Status EnSF::analyze_impl(Ensemble& ens, std::span<const double> y,
               resid[i] = (mask != nullptr && mask[i] == 0) ? 0.0 : y[i] - hx[i];
             r.apply_inverse(resid, rinv_resid);
             if (opts.r_scale != 1.0)
-              for (double& v : rinv_resid) v *= inv_r_scale;
+              dk.scale(rinv_resid.data(), rinv_resid.data(), rinv_resid.size(), inv_r_scale);
             h.adjoint(zm, rinv_resid, like_grad);
 
-            rng::Rng& zrng = sample_rng[m];
-            for (std::size_t i = 0; i < d; ++i) {
-              // Prior score (Eq. 15): sum_j w_j = 1, so
-              //   s = -(z - alpha * sum_j w_j x_j) / beta^2.
-              const double prior_score = -(zm[i] - alpha * wxm[i]) / beta_sq;
-              // Clamp the per-step likelihood displacement: with very small R
-              // the likelihood drift is stiff and explicit Euler would blow up.
-              const double like_step = std::clamp(sigma_sq * damping * like_grad[i] * dt,
-                                                  -cfg_.max_like_step, cfg_.max_like_step);
-              zm[i] += -(b_t * zm[i] - sigma_sq * prior_score) * dt + like_step +
-                       noise_sd * zrng.gaussian();
-            }
+            // The sample's own noise, drawn up front in the same substream
+            // order as a per-element loop would.
+            sample_rng[m].fill_gaussian(noise);
+
+            double* zp = zm.data();
+            dk.scale(zp, zp, d, c0);
+            dk.axpy(zp, wxm.data(), d, c1);
+            // Clamp the per-step likelihood displacement: with very small R
+            // the likelihood drift is stiff and explicit Euler would blow up.
+            dk.clamped_axpy(zp, like_grad.data(), d, cl, cfg_.max_like_step);
+            dk.axpy(zp, noise.data(), d, noise_sd);
           }
         },
         1, cfg_.n_threads);

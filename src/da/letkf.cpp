@@ -1,6 +1,7 @@
 #include "da/letkf.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -109,6 +110,11 @@ struct LETKF::Plan {
   std::vector<std::uint64_t> col_off;  ///< d + 1 prefix offsets
   std::vector<std::int32_t> sel_idx;
   std::vector<double> sel_w;
+
+  /// Per-column local observation count (valid for every column, cheap to
+  /// keep): lets the lane-batch scheduler bucket groups by problem shape
+  /// without walking the template.
+  std::vector<std::uint32_t> col_pl;
 
   [[nodiscard]] std::size_t n_groups() const { return group_off.size() - 1; }
 
@@ -311,6 +317,7 @@ std::unique_ptr<LETKF::Plan> LETKF::Plan::build(const LetkfConfig& cfg,
         },
         cfg.nx, cfg.n_threads);
   }
+  pl.col_pl = std::move(pls);
   return plan;
 }
 
@@ -438,7 +445,10 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
   // scratch. Each group solves its local problem once on the
   // representative's observation selection and applies the resulting weight
   // matrix to every member column; groups touch disjoint xaT rows, so the
-  // result is bitwise identical for any thread count.
+  // result is bitwise identical for any thread count. With lane_batch the
+  // chunk packs same-size groups into SIMD lane batches (solve_batch below);
+  // every lane reproduces the sequential arithmetic exactly, so the packing
+  // is bitwise invisible.
   const auto solve_groups = [&](std::size_t gr_begin, std::size_t gr_end) {
     const auto& dk = simd::active_dense_kernels();
     std::vector<std::int32_t> sel_idx_l;
@@ -448,13 +458,26 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
     std::vector<double> evals;
     std::vector<double> cd(m), vtcd(m), wbar(m), wb(m), isq(m), acc(m);
     std::vector<double> vT(m * m), usT(m * m), wmat(m * m);
+    // Lane-batched scratch: lane-interleaved SoA, one problem per Vec lane.
+    constexpr std::size_t W = simd::kLaneBatch;
+    std::array<std::vector<std::int32_t>, W> sel_idx_b;
+    std::array<std::vector<double>, W> sel_w_b;
+    std::vector<double> yTb, yTwb, weffb, wib;
+    std::vector<double> amatb(m * m * W), vb(m * m * W), wlb(m * W);
+    std::vector<double> cdb(m * W), vtcdb(m * W), wbarb(m * W), wbb(m * W), isqb(m * W),
+        accb(m * W), xbTb(m * W), xaTb(m * W);
+    std::vector<double> vTb(m * m * W), usTb(m * m * W), wmatb(m * m * W);
+    tensor::EighInfo einfos[W];
+    tensor::EighBatchScratch eigh_scratch;
+    std::vector<std::uint32_t> batch_order, rest;
+    std::size_t loc_batched_cols = 0, loc_scalar_cols = 0;
     LetkfTimings pt;
     WallTimer ph;
     std::size_t loc_failures = 0, loc_fallback_cols = 0;
     auto& tc = telemetry::TraceCollector::instance();
     const std::uint64_t chunk_t0 = tr ? tc.now_ns() : 0;
 
-    for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
+    const auto solve_one = [&](std::size_t gr) {
       const std::uint32_t* cols = plan.group_cols.data() + plan.group_off[gr];
       const std::size_t ncols = plan.group_off[gr + 1] - plan.group_off[gr];
       const std::size_t rep = cols[0];
@@ -488,7 +511,7 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
           dk.scale_shift(&xaT(g, 0), &xbT(g, 0), m, 1.0, xbar[g]);
         }
         if (tm) pt.combine_ms += ph.milliseconds();
-        continue;
+        return;
       }
 
       // Gather local Yb^T rows (contiguous m-vectors), the R-localized
@@ -543,7 +566,7 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
           const std::size_t g = cols[ci];
           dk.scale_shift(&xaT(g, 0), &xbT(g, 0), m, 1.0, xbar[g]);
         }
-        continue;
+        return;
       }
 
       // Ensemble-space weights: wbar = V diag(1/l) V^T C innov and
@@ -581,6 +604,202 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
         dk.scale_shift(&xaT(g, 0), acc.data(), m, 1.0, xbar[g]);
       }
       if (tm) pt.combine_ms += ph.milliseconds();
+    };
+
+    // Lane-batched solve of kLaneBatch groups with identical local problem
+    // size pl: the solve_one phase sequence with every per-problem kernel
+    // replaced by its lane-batched counterpart. Each lane executes the exact
+    // sequential IEEE operation sequence, so routing a group through here
+    // never changes its bits.
+    const auto solve_batch = [&](const std::uint32_t* grs, std::size_t pl) {
+      if (tm) ph.reset();
+      const std::int32_t* sidx[W];
+      const double* sw[W];
+      const std::uint32_t* colsl[W];
+      std::size_t ncolsl[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        const std::uint32_t gr = grs[l];
+        colsl[l] = plan.group_cols.data() + plan.group_off[gr];
+        ncolsl[l] = plan.group_off[gr + 1] - plan.group_off[gr];
+        const std::uint32_t rep = colsl[l][0];
+        if (plan.materialized) {
+          sidx[l] = plan.sel_idx.data() + plan.col_off[rep];
+          sw[l] = plan.sel_w.data() + plan.col_off[rep];
+        } else {
+          sel_idx_b[l].clear();
+          sel_w_b[l].clear();
+          plan.for_each(rep, [&](std::int32_t o, double wv) {
+            sel_idx_b[l].push_back(o);
+            sel_w_b[l].push_back(wv);
+          });
+          sidx[l] = sel_idx_b[l].data();
+          sw[l] = sel_w_b[l].data();
+        }
+      }
+      if (tm) pt.select_ms += ph.milliseconds();
+
+      // Gather the four columns' local rows lane-interleaved.
+      if (tm) ph.reset();
+      yTb.resize(pl * m * W);
+      yTwb.resize(pl * m * W);
+      weffb.resize(pl * W);
+      wib.resize(pl * W);
+      for (std::size_t o = 0; o < pl; ++o) {
+        for (std::size_t l = 0; l < W; ++l) {
+          const auto oidx = static_cast<std::size_t>(sidx[l][o]);
+          const double* src = &yensT(oidx, 0);
+          double* dst = &yTb[o * m * W + l];
+          for (std::size_t k = 0; k < m; ++k) dst[k * W] = src[k];
+          const double w_eff =
+              (mask != nullptr && mask[oidx] == 0) ? 0.0 : sw[l][o] * inv_r_scale;
+          weffb[o * W + l] = w_eff;
+          wib[o * W + l] = w_eff * innov[oidx];
+        }
+        dk.bscale(&yTwb[o * m * W], &yTb[o * m * W], m, &weffb[o * W]);
+      }
+      if (tm) pt.gather_ms += ph.milliseconds();
+
+      // Gram, upper triangle row by row — one Vec op per element keeps all
+      // lanes busy even on the short row tails.
+      if (tm) ph.reset();
+      for (std::size_t a = 0; a < m; ++a) {
+        std::fill_n(&amatb[(a * m + a) * W], (m - a) * W, 0.0);
+        dk.baccum_rows(&amatb[(a * m + a) * W], &yTwb[a * W], m, &yTb[a * W], m, pl, m - a);
+      }
+      for (std::size_t a = 0; a < m; ++a) {
+        for (std::size_t l = 0; l < W; ++l)
+          amatb[(a * m + a) * W + l] += static_cast<double>(m - 1);
+        for (std::size_t b = a + 1; b < m; ++b)
+          for (std::size_t l = 0; l < W; ++l)
+            amatb[(b * m + a) * W + l] = amatb[(a * m + b) * W + l];
+      }
+      if (tm) pt.gram_ms += ph.milliseconds();
+
+      // Masked lane-batched eigensolve; per-lane non-convergence follows the
+      // sequential fallback policy.
+      if (tm) ph.reset();
+      tensor::jacobi_eigh_batch(amatb.data(), m, W, vb.data(), wlb.data(), cfg_.eigh_max_sweeps,
+                                einfos, &eigh_scratch);
+      if (tm) pt.eigh_ms += ph.milliseconds();
+      bool fell[W];
+      for (std::size_t l = 0; l < W; ++l) {
+        fell[l] = !einfos[l].converged;
+        if (fell[l])
+          TURBDA_REQUIRE(cfg_.eigh_fallback,
+                         "jacobi_eigh: not converged after "
+                             << einfos[l].sweeps << " sweeps (off-diagonal Frobenius "
+                             << einfos[l].off_fro << ")");
+      }
+
+      // Weights for all lanes (non-converged lanes hold the benign identity
+      // eigensystem; their results are discarded below).
+      if (tm) ph.reset();
+      std::fill(cdb.begin(), cdb.end(), 0.0);
+      dk.baccum_rows(cdb.data(), wib.data(), 1, yTb.data(), m, pl, m);
+      std::fill(vtcdb.begin(), vtcdb.end(), 0.0);
+      dk.baccum_rows(vtcdb.data(), cdb.data(), 1, vb.data(), m, m, m);
+      for (std::size_t a = 0; a < m; ++a)
+        for (std::size_t l = 0; l < W; ++l) {
+          wbarb[a * W + l] = vtcdb[a * W + l] / wlb[a * W + l];
+          isqb[a * W + l] = 1.0 / std::sqrt(wlb[a * W + l]);
+        }
+      for (std::size_t a = 0; a < m; ++a)
+        for (std::size_t i = 0; i < m; ++i)
+          for (std::size_t l = 0; l < W; ++l) vTb[(a * m + i) * W + l] = vb[(i * m + a) * W + l];
+      std::fill(wbb.begin(), wbb.end(), 0.0);
+      dk.baccum_rows(wbb.data(), wbarb.data(), 1, vTb.data(), m, m, m);
+      for (std::size_t a = 0; a < m; ++a)
+        dk.bscale(&usTb[a * m * W], &vTb[a * m * W], m, &isqb[a * W]);
+      for (std::size_t k = 0; k < m; ++k) {
+        std::fill(accb.begin(), accb.end(), 0.0);
+        dk.baccum_rows(accb.data(), &vb[k * m * W], 1, usTb.data(), m, m, m);
+        dk.bscale_shift(&wmatb[k * m * W], accb.data(), m, sqm1, &wbb[k * W]);
+      }
+      if (tm) pt.weights_ms += ph.milliseconds();
+
+      // Posterior combine, lanes advancing through their column lists in
+      // lockstep; exhausted lanes recompute their last column into scratch
+      // and skip the scatter.
+      if (tm) ph.reset();
+      double xbarb[W] = {0.0, 0.0, 0.0, 0.0};
+      std::size_t max_nc = 0;
+      for (std::size_t l = 0; l < W; ++l)
+        if (!fell[l]) max_nc = std::max(max_nc, ncolsl[l]);
+      for (std::size_t ci = 0; ci < max_nc; ++ci) {
+        for (std::size_t l = 0; l < W; ++l) {
+          if (fell[l] || ci >= ncolsl[l]) continue;
+          const std::size_t g = colsl[l][ci];
+          for (std::size_t k = 0; k < m; ++k) xbTb[k * W + l] = xbT(g, k);
+          xbarb[l] = xbar[g];
+        }
+        std::fill(accb.begin(), accb.end(), 0.0);
+        dk.baccum_rows(accb.data(), xbTb.data(), 1, wmatb.data(), m, m, m);
+        dk.bscale_shift(xaTb.data(), accb.data(), m, 1.0, xbarb);
+        for (std::size_t l = 0; l < W; ++l) {
+          if (fell[l] || ci >= ncolsl[l]) continue;
+          const std::size_t g = colsl[l][ci];
+          for (std::size_t k = 0; k < m; ++k) xaT(g, k) = xaTb[k * W + l];
+        }
+      }
+      // Non-converged lanes keep the forecast, exactly like solve_one.
+      for (std::size_t l = 0; l < W; ++l) {
+        if (!fell[l]) continue;
+        ++loc_failures;
+        loc_fallback_cols += ncolsl[l];
+        for (std::size_t ci = 0; ci < ncolsl[l]; ++ci) {
+          const std::size_t g = colsl[l][ci];
+          dk.scale_shift(&xaT(g, 0), &xbT(g, 0), m, 1.0, xbar[g]);
+        }
+      }
+      if (tm) pt.combine_ms += ph.milliseconds();
+    };
+
+    const auto group_pl = [&](std::uint32_t gr) {
+      return plan.col_pl[plan.group_cols[plan.group_off[gr]]];
+    };
+    if (cfg_.lane_batch) {
+      // Pack this chunk's groups into full lane batches of identical local
+      // problem size; each size run's tail and empty selections take the
+      // sequential path. Lane results never depend on what shares a batch,
+      // so any chunking or packing yields identical bits.
+      batch_order.clear();
+      rest.clear();
+      for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
+        if (group_pl(static_cast<std::uint32_t>(gr)) == 0)
+          rest.push_back(static_cast<std::uint32_t>(gr));
+        else
+          batch_order.push_back(static_cast<std::uint32_t>(gr));
+      }
+      std::sort(batch_order.begin(), batch_order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const std::uint32_t pa = group_pl(a), pb = group_pl(b);
+        return pa != pb ? pa < pb : a < b;
+      });
+      std::size_t i = 0;
+      while (i < batch_order.size()) {
+        const std::uint32_t pl_run = group_pl(batch_order[i]);
+        std::size_t run_end = i + 1;
+        while (run_end < batch_order.size() && group_pl(batch_order[run_end]) == pl_run)
+          ++run_end;
+        std::size_t b = i;
+        for (; b + W <= run_end; b += W) {
+          solve_batch(&batch_order[b], pl_run);
+          for (std::size_t l = 0; l < W; ++l) {
+            const std::uint32_t gr = batch_order[b + l];
+            loc_batched_cols += plan.group_off[gr + 1] - plan.group_off[gr];
+          }
+        }
+        for (; b < run_end; ++b) rest.push_back(batch_order[b]);
+        i = run_end;
+      }
+      for (const std::uint32_t gr : rest) {
+        loc_scalar_cols += plan.group_off[gr + 1] - plan.group_off[gr];
+        solve_one(gr);
+      }
+    } else {
+      for (std::size_t gr = gr_begin; gr < gr_end; ++gr) {
+        loc_scalar_cols += plan.group_off[gr + 1] - plan.group_off[gr];
+        solve_one(gr);
+      }
     }
 
     if (loc_failures != 0) {
@@ -596,6 +815,8 @@ Status LETKF::analyze_impl(Ensemble& ens, std::span<const double> y,
       timings_.eigh_ms += pt.eigh_ms;
       timings_.weights_ms += pt.weights_ms;
       timings_.combine_ms += pt.combine_ms;
+      timings_.batched_columns += loc_batched_cols;
+      timings_.scalar_columns += loc_scalar_cols;
     }
     if (tr) {
       // Per-group-per-phase spans would be far too hot (thousands of groups

@@ -13,13 +13,27 @@
 // reduction trees — so the Scalar and Avx2 tables are bitwise identical,
 // and results never depend on thread count. The Avx2Fma table contracts
 // multiplies into FMAs (~1 ulp per accumulation step).
+//
+// The lane-batched b* entries flip the vectorization axis: instead of
+// vectorizing one problem's output row, they advance kLaneBatch independent
+// problems in lockstep, one problem per Vec lane, over lane-interleaved
+// structure-of-arrays buffers (logical element e of problem l lives at
+// ptr[e * kLaneBatch + l]). Per lane they perform the exact IEEE operation
+// sequence of their sequential counterpart at the same dispatch level —
+// including the fused steps of the Avx2Fma table — so a lane-batched solve
+// is bitwise identical to kLaneBatch sequential solves at EVERY level, and
+// every Vec op is fully occupied regardless of the problem size.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "simd/dispatch.hpp"
 
 namespace turbda::simd {
+
+/// Problems per lane-batched kernel call (== Vec::kWidth of both backends).
+inline constexpr std::size_t kLaneBatch = 4;
 
 struct DenseKernels {
   /// acc[j] += sum_i x[i * ldx] * y[i * ldy + j] for j in [0, m): a rank-k
@@ -34,6 +48,43 @@ struct DenseKernels {
   void (*scale)(double* out, const double* in, std::size_t n, double alpha);
   /// out[i] = shift + alpha * in[i].
   void (*scale_shift)(double* out, const double* in, std::size_t n, double alpha, double shift);
+
+  // ---- Lane-batched entries: kLaneBatch problems, lane-interleaved SoA ----
+
+  /// Lane-batched accum_rows. Same contract per lane, with ldx/ldy/k/m in
+  /// logical elements (byte strides are kLaneBatch times larger): for each
+  /// problem l, acc[j] += sum_i x[i*ldx]*y[i*ldy+j]. One Vec op per logical
+  /// element, fully occupied for any row length m.
+  void (*baccum_rows)(double* acc, const double* x, std::size_t ldx, const double* y,
+                      std::size_t ldy, std::size_t k, std::size_t m);
+  /// Lane-batched scale with a per-lane factor: out[j] = alpha[lane]*in[j].
+  void (*bscale)(double* out, const double* in, std::size_t n, const double* alpha);
+  /// Lane-batched scale_shift with a shared factor and a per-lane shift:
+  /// out[j] = shift[lane] + alpha*in[j].
+  void (*bscale_shift)(double* out, const double* in, std::size_t n, double alpha,
+                       const double* shift);
+  /// Masked lane-batched cyclic-by-rows Jacobi sweep loop: kLaneBatch
+  /// symmetric n x n problems (lane-interleaved in `m`, eigenvector rows
+  /// accumulated into `vt`, pre-seeded to per-lane identity) advance through
+  /// the data-independent rotation schedule in lockstep. Per-lane skip and
+  /// convergence masks (thresholds tol_sq/skip_sq per lane) blend each
+  /// lane's values bit-unchanged once it is done, so every lane reproduces
+  /// the sequential jacobi_eigh arithmetic exactly. Outputs per lane: sweep
+  /// count, final off-diagonal Frobenius norm squared, and a convergence
+  /// flag (a lane that exhausts max_sweeps simply reports 0; policy is the
+  /// caller's). Unused lanes: give them finite content (e.g. zeros) and an
+  /// infinite tol_sq so they converge at entry and are never touched.
+  void (*bjacobi_sweeps)(double* m, double* vt, std::size_t n, int max_sweeps,
+                         const double* tol_sq, const double* skip_sq, int* sweeps,
+                         double* off_sq, std::uint8_t* converged);
+
+  // ---- Contiguous elementwise helpers (EnSF per-sample updates) ----
+
+  /// out[i] += alpha * in[i].
+  void (*axpy)(double* out, const double* in, std::size_t n, double alpha);
+  /// out[i] += clamp(alpha * in[i], -lim, +lim), with vmaxpd/vminpd tie
+  /// semantics in the clamp.
+  void (*clamped_axpy)(double* out, const double* in, std::size_t n, double alpha, double lim);
 };
 
 /// Kernel table for the given level; level must be available.

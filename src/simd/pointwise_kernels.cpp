@@ -1,0 +1,51 @@
+// Scalar pointwise-kernel table: the generic Vec kernels instantiated with
+// the emulated VecScalar backend. Compiled with -ffp-contract=off and
+// auto-vectorization off unconditionally (see CMakeLists.txt): this is the
+// bitwise reference for the Avx2 table.
+#include "simd/pointwise_kernels.hpp"
+
+#include "common/check.hpp"
+#include "simd/pointwise_kernels_impl.hpp"
+#include "simd/vec.hpp"
+
+namespace turbda::simd {
+
+namespace {
+
+constexpr PointwiseKernels kScalarPointwise = {
+    detail::sqg_pass1_impl<VecScalar, false>,
+    detail::sqg_jacobian_impl<VecScalar, false>,
+    detail::sqg_combine_impl<VecScalar, false>,
+    detail::mul_inplace_impl<VecScalar>,
+    detail::add_scaled_impl<VecScalar, false>,
+    detail::rk4_update_impl<VecScalar, false>};
+
+}  // namespace
+
+#if defined(TURBDA_HAVE_AVX2) && defined(__x86_64__)
+// Defined in pointwise_kernels_avx2.cpp (compiled with -mavx2 -mfma).
+extern const PointwiseKernels kAvx2Pointwise;
+extern const PointwiseKernels kAvx2FmaPointwise;
+#endif
+
+const PointwiseKernels& pointwise_kernels_for(SimdLevel level) {
+  TURBDA_REQUIRE(simd_level_available(level),
+                 "SIMD level " << simd_level_name(level) << " is not available on this build/CPU");
+#if defined(TURBDA_HAVE_AVX2) && defined(__x86_64__)
+  switch (level) {
+    case SimdLevel::Avx2:
+      return kAvx2Pointwise;
+    case SimdLevel::Avx2Fma:
+      return kAvx2FmaPointwise;
+    case SimdLevel::Scalar:
+      break;
+  }
+#endif
+  return kScalarPointwise;
+}
+
+const PointwiseKernels& active_pointwise_kernels() {
+  return pointwise_kernels_for(active_simd_level());
+}
+
+}  // namespace turbda::simd

@@ -1,0 +1,37 @@
+// AVX2 / AVX2+FMA pointwise-kernel tables: the generic Vec kernels from
+// pointwise_kernels_impl.hpp instantiated with the VecAvx2 backend. Compiled
+// with -mavx2 -mfma -ffp-contract=off (see CMakeLists.txt); used only after
+// runtime CPUID confirms support. The Avx2 table is bitwise identical to the
+// scalar table; Avx2Fma contracts multiplies into FMAs.
+#include "simd/pointwise_kernels.hpp"
+
+#if defined(TURBDA_HAVE_AVX2) && defined(__x86_64__) && defined(__AVX2__)
+
+#include "simd/pointwise_kernels_impl.hpp"
+#include "simd/vec.hpp"
+
+namespace turbda::simd {
+
+// Declared extern in pointwise_kernels.cpp (namespace-scope const defaults
+// to internal linkage, so the declarations must precede the definitions).
+extern const PointwiseKernels kAvx2Pointwise;
+extern const PointwiseKernels kAvx2FmaPointwise;
+
+const PointwiseKernels kAvx2Pointwise = {
+    detail::sqg_pass1_impl<VecAvx2, false>,
+    detail::sqg_jacobian_impl<VecAvx2, false>,
+    detail::sqg_combine_impl<VecAvx2, false>,
+    detail::mul_inplace_impl<VecAvx2>,
+    detail::add_scaled_impl<VecAvx2, false>,
+    detail::rk4_update_impl<VecAvx2, false>};
+const PointwiseKernels kAvx2FmaPointwise = {
+    detail::sqg_pass1_impl<VecAvx2, true>,
+    detail::sqg_jacobian_impl<VecAvx2, true>,
+    detail::sqg_combine_impl<VecAvx2, true>,
+    detail::mul_inplace_impl<VecAvx2>,
+    detail::add_scaled_impl<VecAvx2, true>,
+    detail::rk4_update_impl<VecAvx2, true>};
+
+}  // namespace turbda::simd
+
+#endif  // TURBDA_HAVE_AVX2 && __x86_64__ && __AVX2__

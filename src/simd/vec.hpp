@@ -3,8 +3,12 @@
 // `Vec` models a 256-bit register of four doubles with the small fixed set of
 // lane operations the FFT butterflies and the LETKF dense kernels need:
 // load/store, broadcast, +/-/*, fused and unfused multiply-add, the
-// addsub/fmaddsub family for interleaved complex pairs, and in-register
-// shuffles (pair swap, even/odd duplicate, 128-bit half swap, blend).
+// addsub/fmaddsub family for interleaved complex pairs, in-register shuffles
+// (pair swap, even/odd duplicate, 128-bit half swap, blend), and — for the
+// lane-batched solvers — correctly-rounded / and sqrt (IEEE-exact in both
+// backends, so lane arithmetic matches the scalar spelling bitwise),
+// min/max, ordered compares producing all-ones lane masks, sign-bit select
+// and movemask.
 //
 // Two interchangeable backends implement that interface:
 //
@@ -24,8 +28,10 @@
 // instantiates all three dispatch levels.
 #pragma once
 
+#include <bit>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -60,6 +66,65 @@ struct VecScalar {
   }
   friend VecScalar operator*(VecScalar a, VecScalar b) {
     return VecScalar{{a.v[0] * b.v[0], a.v[1] * b.v[1], a.v[2] * b.v[2], a.v[3] * b.v[3]}};
+  }
+  /// Lane division; IEEE division is correctly rounded, so this is bitwise
+  /// identical to the scalar `/` and to vdivpd.
+  friend VecScalar operator/(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] / b.v[0], a.v[1] / b.v[1], a.v[2] / b.v[2], a.v[3] / b.v[3]}};
+  }
+  /// Lane square root (correctly rounded — bitwise match with vsqrtpd).
+  [[nodiscard]] static VecScalar sqrt(VecScalar a) {
+    return VecScalar{{std::sqrt(a.v[0]), std::sqrt(a.v[1]), std::sqrt(a.v[2]), std::sqrt(a.v[3])}};
+  }
+  /// Lane minimum with vminpd semantics: a < b ? a : b (returns b on ties).
+  [[nodiscard]] static VecScalar min(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] < b.v[0] ? a.v[0] : b.v[0], a.v[1] < b.v[1] ? a.v[1] : b.v[1],
+                      a.v[2] < b.v[2] ? a.v[2] : b.v[2], a.v[3] < b.v[3] ? a.v[3] : b.v[3]}};
+  }
+  /// Lane maximum with vmaxpd semantics: a > b ? a : b (returns b on ties).
+  [[nodiscard]] static VecScalar max(VecScalar a, VecScalar b) {
+    return VecScalar{{a.v[0] > b.v[0] ? a.v[0] : b.v[0], a.v[1] > b.v[1] ? a.v[1] : b.v[1],
+                      a.v[2] > b.v[2] ? a.v[2] : b.v[2], a.v[3] > b.v[3] ? a.v[3] : b.v[3]}};
+  }
+
+ private:
+  static double mask_lane(bool cond) {
+    return cond ? std::bit_cast<double>(~std::uint64_t{0}) : 0.0;
+  }
+
+ public:
+  /// All-ones lane mask where a >= b (ordered), else all-zeros.
+  [[nodiscard]] static VecScalar cmp_ge(VecScalar a, VecScalar b) {
+    return VecScalar{{mask_lane(a.v[0] >= b.v[0]), mask_lane(a.v[1] >= b.v[1]),
+                      mask_lane(a.v[2] >= b.v[2]), mask_lane(a.v[3] >= b.v[3])}};
+  }
+  /// All-ones lane mask where a > b (ordered), else all-zeros.
+  [[nodiscard]] static VecScalar cmp_gt(VecScalar a, VecScalar b) {
+    return VecScalar{{mask_lane(a.v[0] > b.v[0]), mask_lane(a.v[1] > b.v[1]),
+                      mask_lane(a.v[2] > b.v[2]), mask_lane(a.v[3] > b.v[3])}};
+  }
+  /// Bitwise AND (mask combination).
+  [[nodiscard]] static VecScalar and_(VecScalar a, VecScalar b) {
+    VecScalar r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[i]) &
+                                     std::bit_cast<std::uint64_t>(b.v[i]));
+    return r;
+  }
+  /// Per-lane select on the mask's *sign bit* (vblendvpd semantics): lane
+  /// from a where set, else from b. A bit copy, never an arithmetic op.
+  [[nodiscard]] static VecScalar select(VecScalar mask, VecScalar a, VecScalar b) {
+    VecScalar r;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r.v[i] = (std::bit_cast<std::uint64_t>(mask.v[i]) >> 63) ? a.v[i] : b.v[i];
+    return r;
+  }
+  /// Sign bits of the four lanes packed into bits 0..3 (vmovmskpd).
+  [[nodiscard]] int movemask() const {
+    int r = 0;
+    for (std::size_t i = 0; i < kWidth; ++i)
+      r |= static_cast<int>(std::bit_cast<std::uint64_t>(v[i]) >> 63) << i;
+    return r;
   }
 
   /// a * b + c; fused to one rounding when kFma (std::fma is correctly
@@ -128,6 +193,8 @@ struct VecScalar {
   [[nodiscard]] VecScalar neg() const { return VecScalar{{-v[0], -v[1], -v[2], -v[3]}}; }
   /// Odd (imaginary) lanes negated: complex conjugate of interleaved pairs.
   [[nodiscard]] VecScalar conj() const { return VecScalar{{v[0], -v[1], v[2], -v[3]}}; }
+  /// Even (real) lanes negated.
+  [[nodiscard]] VecScalar neg_even() const { return VecScalar{{-v[0], v[1], -v[2], v[3]}}; }
 };
 
 #if defined(__AVX2__)
@@ -148,6 +215,27 @@ struct VecAvx2 {
   friend VecAvx2 operator+(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_add_pd(a.v, b.v)}; }
   friend VecAvx2 operator-(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_sub_pd(a.v, b.v)}; }
   friend VecAvx2 operator*(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_mul_pd(a.v, b.v)}; }
+  friend VecAvx2 operator/(VecAvx2 a, VecAvx2 b) { return VecAvx2{_mm256_div_pd(a.v, b.v)}; }
+  [[nodiscard]] static VecAvx2 sqrt(VecAvx2 a) { return VecAvx2{_mm256_sqrt_pd(a.v)}; }
+  [[nodiscard]] static VecAvx2 min(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_min_pd(a.v, b.v)};
+  }
+  [[nodiscard]] static VecAvx2 max(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_max_pd(a.v, b.v)};
+  }
+  [[nodiscard]] static VecAvx2 cmp_ge(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+  }
+  [[nodiscard]] static VecAvx2 cmp_gt(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+  }
+  [[nodiscard]] static VecAvx2 and_(VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_and_pd(a.v, b.v)};
+  }
+  [[nodiscard]] static VecAvx2 select(VecAvx2 mask, VecAvx2 a, VecAvx2 b) {
+    return VecAvx2{_mm256_blendv_pd(b.v, a.v, mask.v)};
+  }
+  [[nodiscard]] int movemask() const { return _mm256_movemask_pd(v); }
 
   template <bool kFma>
   [[nodiscard]] static VecAvx2 mul_add(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
@@ -202,6 +290,9 @@ struct VecAvx2 {
   }
   [[nodiscard]] VecAvx2 conj() const {
     return VecAvx2{_mm256_xor_pd(v, _mm256_set_pd(-0.0, 0.0, -0.0, 0.0))};
+  }
+  [[nodiscard]] VecAvx2 neg_even() const {
+    return VecAvx2{_mm256_xor_pd(v, _mm256_set_pd(0.0, -0.0, 0.0, -0.0))};
   }
 };
 

@@ -5,9 +5,20 @@
 
 #include "common/check.hpp"
 #include "common/math_utils.hpp"
+#include "simd/pointwise_kernels.hpp"
 #include "telemetry/trace.hpp"
 
 namespace turbda::sqg {
+
+namespace {
+
+// Interleaved (re, im) double view of a complex buffer — the layout the
+// runtime-dispatched pointwise kernels sweep over. Guaranteed well-defined
+// for std::complex ([complex.numbers.general]).
+inline double* dview(Cplx* p) { return reinterpret_cast<double*>(p); }
+inline const double* dview(const Cplx* p) { return reinterpret_cast<const double*>(p); }
+
+}  // namespace
 
 void SqgWorkspace::resize(std::size_t grid_n) {
   n = grid_n;
@@ -164,6 +175,19 @@ SqgModel::SqgModel(SqgConfig cfg)
     const double rate = std::pow(kn, cfg_.diff_order) / cfg_.diff_efold;
     hyperdiff_[p] = std::exp(-cfg_.dt * rate);
   }
+
+  // Pair-duplicate the real per-bin tables onto the interleaved re/im layout
+  // the pointwise kernels sweep over (one coefficient per double lane).
+  const auto dup2 = [this](const std::vector<double>& src, std::vector<double>& dst) {
+    dst.resize(2 * ns_);
+    for (std::size_t p = 0; p < ns_; ++p) dst[2 * p] = dst[2 * p + 1] = src[p];
+  };
+  dup2(kx_, kx2_);
+  dup2(ky_, ky2_);
+  dup2(inv_kappa_, inv_kappa2_);
+  dup2(inv_sinh_, inv_sinh2_);
+  dup2(inv_tanh_, inv_tanh2_);
+  dup2(hyperdiff_, hyperdiff2_);
 }
 
 void SqgModel::to_spectral(std::span<const double> theta_grid, std::span<Cplx> theta_spec) const {
@@ -204,6 +228,7 @@ void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out,
   TURBDA_REQUIRE(theta_spec.size() == spec_dim() && out.size() == spec_dim(),
                  "tendency: wrong buffer sizes");
   if (ws.n != cfg_.n) ws.resize(cfg_.n);
+  const auto& pk = simd::active_pointwise_kernels();
   const Cplx* t0 = theta_spec.data();
   const Cplx* t1 = theta_spec.data() + ns_;
 
@@ -212,21 +237,13 @@ void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out,
     Cplx* ps = ws.psi.data() + l * ns_;
 
     // Pass 1 (fused, branch-free): boundary inversion plus the four
-    // derivative half-spectra in a single traversal. u = -psi_y, v = psi_x;
-    // a multiply by i*k is spelled out as (re, im) -> (-k*im, k*re).
-    const double* cA = (l == 0) ? inv_sinh_.data() : inv_tanh_.data();
-    const double* cB = (l == 0) ? inv_tanh_.data() : inv_sinh_.data();
-    for (std::size_t p = 0; p < ns_; ++p) {
-      const Cplx psv = inv_kappa_[p] * (t1[p] * cA[p] - t0[p] * cB[p]);
-      ps[p] = psv;
-      const double kxv = kx_[p];
-      const double kyv = ky_[p];
-      const Cplx thv = th[p];
-      ws.duh[p] = Cplx(kyv * psv.imag(), -kyv * psv.real());   // -i ky psi
-      ws.dvh[p] = Cplx(-kxv * psv.imag(), kxv * psv.real());   // +i kx psi
-      ws.dtx[p] = Cplx(-kxv * thv.imag(), kxv * thv.real());   // +i kx theta
-      ws.dty[p] = Cplx(-kyv * thv.imag(), kyv * thv.real());   // +i ky theta
-    }
+    // derivative half-spectra in a single traversal (u = -psi_y, v = psi_x),
+    // as one runtime-dispatched Vec sweep over the interleaved pairs.
+    const double* cA2 = (l == 0) ? inv_sinh2_.data() : inv_tanh2_.data();
+    const double* cB2 = (l == 0) ? inv_tanh2_.data() : inv_sinh2_.data();
+    pk.sqg_pass1(dview(ps), dview(ws.duh.data()), dview(ws.dvh.data()), dview(ws.dtx.data()),
+                 dview(ws.dty.data()), dview(t0), dview(t1), dview(th), inv_kappa2_.data(), cA2,
+                 cB2, kx2_.data(), ky2_.data(), 2 * ns_);
 
     // Pruned c2r transforms to grid space (the state is dealiased, so the
     // truncated columns are zero and their transforms are skipped).
@@ -237,41 +254,40 @@ void SqgModel::tendency(std::span<const Cplx> theta_spec, std::span<Cplx> out,
 
     // Nonlinear advection J(psi, theta) = u theta_x + v theta_y; the pruned
     // r2c both transforms and 2/3-truncates it in one go.
-    for (std::size_t p = 0; p < nn_; ++p) ws.gj[p] = ws.gu[p] * ws.gtx[p] + ws.gv[p] * ws.gty[p];
+    pk.sqg_jacobian(ws.gj.data(), ws.gu.data(), ws.gtx.data(), ws.gv.data(), ws.gty.data(), nn_);
     fft_.forward_half_pruned(ws.gj, ws.jac, kcut_);
 
     // Pass 2 (fused, branch-free combine): all linear physics lives in the
     // precomputed per-level tables; the Jacobian arrives already dealiased.
-    const Cplx* lt = op_theta_[l].data();
-    const Cplx* lp = op_psi_[l].data();
-    const Cplx* jc = ws.jac.data();
-    Cplx* dth = out.data() + l * ns_;
-    for (std::size_t p = 0; p < ns_; ++p) dth[p] = lt[p] * th[p] + lp[p] * ps[p] - jc[p];
+    pk.sqg_combine(dview(out.data() + l * ns_), dview(th), dview(ps), dview(ws.jac.data()),
+                   dview(op_theta_[l].data()), dview(op_psi_[l].data()), 2 * ns_);
   }
 }
 
 void SqgModel::apply_hyperdiffusion(std::span<Cplx> theta_spec) const {
-  for (std::size_t l = 0; l < 2; ++l) {
-    Cplx* s = theta_spec.data() + l * ns_;
-    for (std::size_t p = 0; p < ns_; ++p) s[p] *= hyperdiff_[p];
-  }
+  const auto& pk = simd::active_pointwise_kernels();
+  for (std::size_t l = 0; l < 2; ++l)
+    pk.mul_inplace(dview(theta_spec.data() + l * ns_), hyperdiff2_.data(), 2 * ns_);
 }
 
 void SqgModel::step(std::span<double> theta_grid, int nsteps, SqgWorkspace& ws) const {
   if (ws.n != cfg_.n) ws.resize(cfg_.n);
   to_spectral(theta_grid, ws.spec);
+  const auto& pk = simd::active_pointwise_kernels();
   const double dt = cfg_.dt;
-  const std::size_t m = 2 * ns_;
+  const std::size_t nd = 2 * (2 * ns_);  // doubles in one spectral state
+  double* spec = dview(ws.spec.data());
+  double* stage = dview(ws.stage.data());
   for (int s = 0; s < nsteps; ++s) {
     tendency(ws.spec, ws.k1, ws);
-    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k1[i];
+    pk.add_scaled(stage, spec, dview(ws.k1.data()), nd, 0.5 * dt);
     tendency(ws.stage, ws.k2, ws);
-    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k2[i];
+    pk.add_scaled(stage, spec, dview(ws.k2.data()), nd, 0.5 * dt);
     tendency(ws.stage, ws.k3, ws);
-    for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + dt * ws.k3[i];
+    pk.add_scaled(stage, spec, dview(ws.k3.data()), nd, dt);
     tendency(ws.stage, ws.k4, ws);
-    for (std::size_t i = 0; i < m; ++i)
-      ws.spec[i] += dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
+    pk.rk4_update(spec, dview(ws.k1.data()), dview(ws.k2.data()), dview(ws.k3.data()),
+                  dview(ws.k4.data()), nd, dt / 6.0);
     apply_hyperdiffusion(ws.spec);
   }
   to_grid(ws.spec, theta_grid);
@@ -294,31 +310,19 @@ void SqgModel::advance(std::span<double> theta_grid, double seconds, SqgWorkspac
 void SqgModel::tendency_batch(std::span<const Cplx> specs, std::span<Cplx> outs,
                               std::size_t count, SqgBatchWorkspace& ws) const {
   const std::size_t ns = ns_;
+  const auto& pk = simd::active_pointwise_kernels();
   for (std::size_t l = 0; l < 2; ++l) {
-    const double* cA = (l == 0) ? inv_sinh_.data() : inv_tanh_.data();
-    const double* cB = (l == 0) ? inv_tanh_.data() : inv_sinh_.data();
-    // Pass 1 per member (fused inversion + derivatives; same loop body as
-    // tendency()), writing the block's four derivative half-spectra.
+    const double* cA2 = (l == 0) ? inv_sinh2_.data() : inv_tanh2_.data();
+    const double* cB2 = (l == 0) ? inv_tanh2_.data() : inv_sinh2_.data();
+    // Pass 1 per member (fused inversion + derivatives; the same kernel call
+    // as tendency()), writing the block's four derivative half-spectra.
     for (std::size_t b = 0; b < count; ++b) {
       const Cplx* t0 = specs.data() + b * 2 * ns;
-      const Cplx* t1 = t0 + ns;
-      const Cplx* th = t0 + l * ns;
-      Cplx* ps = ws.psi.data() + b * ns;
-      Cplx* duh = ws.duh.data() + b * ns;
-      Cplx* dvh = ws.dvh.data() + b * ns;
-      Cplx* dtx = ws.dtx.data() + b * ns;
-      Cplx* dty = ws.dty.data() + b * ns;
-      for (std::size_t p = 0; p < ns; ++p) {
-        const Cplx psv = inv_kappa_[p] * (t1[p] * cA[p] - t0[p] * cB[p]);
-        ps[p] = psv;
-        const double kxv = kx_[p];
-        const double kyv = ky_[p];
-        const Cplx thv = th[p];
-        duh[p] = Cplx(kyv * psv.imag(), -kyv * psv.real());   // -i ky psi
-        dvh[p] = Cplx(-kxv * psv.imag(), kxv * psv.real());   // +i kx psi
-        dtx[p] = Cplx(-kxv * thv.imag(), kxv * thv.real());   // +i kx theta
-        dty[p] = Cplx(-kyv * thv.imag(), kyv * thv.real());   // +i ky theta
-      }
+      pk.sqg_pass1(dview(ws.psi.data() + b * ns), dview(ws.duh.data() + b * ns),
+                   dview(ws.dvh.data() + b * ns), dview(ws.dtx.data() + b * ns),
+                   dview(ws.dty.data() + b * ns), dview(t0), dview(t0 + ns),
+                   dview(t0 + l * ns), inv_kappa2_.data(), cA2, cB2, kx2_.data(), ky2_.data(),
+                   2 * ns);
     }
 
     // All 4 x count c2r transforms of the block as one fused batch.
@@ -338,12 +342,8 @@ void SqgModel::tendency_batch(std::span<const Cplx> specs, std::span<Cplx> outs,
 
     // Nonlinear advection in grid space, then one batched dealiasing r2c.
     for (std::size_t b = 0; b < count; ++b) {
-      const double* gu = ws.gu.data() + b * nn_;
-      const double* gv = ws.gv.data() + b * nn_;
-      const double* gtx = ws.gtx.data() + b * nn_;
-      const double* gty = ws.gty.data() + b * nn_;
-      double* gj = ws.gj.data() + b * nn_;
-      for (std::size_t p = 0; p < nn_; ++p) gj[p] = gu[p] * gtx[p] + gv[p] * gty[p];
+      pk.sqg_jacobian(ws.gj.data() + b * nn_, ws.gu.data() + b * nn_, ws.gtx.data() + b * nn_,
+                      ws.gv.data() + b * nn_, ws.gty.data() + b * nn_, nn_);
     }
     ws.grid_cptrs.clear();
     ws.out_ptrs.clear();
@@ -353,15 +353,12 @@ void SqgModel::tendency_batch(std::span<const Cplx> specs, std::span<Cplx> outs,
     }
     fft_.forward_half_pruned_batch(ws.grid_cptrs, ws.out_ptrs, kcut_);
 
-    // Pass 2 per member (fused combine; same loop body as tendency()).
-    const Cplx* lt = op_theta_[l].data();
-    const Cplx* lp = op_psi_[l].data();
+    // Pass 2 per member (fused combine; the same kernel call as tendency()).
     for (std::size_t b = 0; b < count; ++b) {
-      const Cplx* th = specs.data() + b * 2 * ns + l * ns;
-      const Cplx* ps = ws.psi.data() + b * ns;
-      const Cplx* jc = ws.jac.data() + b * ns;
-      Cplx* dth = outs.data() + b * 2 * ns + l * ns;
-      for (std::size_t p = 0; p < ns; ++p) dth[p] = lt[p] * th[p] + lp[p] * ps[p] - jc[p];
+      pk.sqg_combine(dview(outs.data() + b * 2 * ns + l * ns),
+                     dview(specs.data() + b * 2 * ns + l * ns), dview(ws.psi.data() + b * ns),
+                     dview(ws.jac.data() + b * ns), dview(op_theta_[l].data()),
+                     dview(op_psi_[l].data()), 2 * ns);
     }
   }
 }
@@ -389,17 +386,20 @@ void SqgModel::step_batch(std::span<double> states, std::size_t count, int nstep
       }
     fft_.forward_half_pruned_batch(ws.grid_cptrs, ws.out_ptrs, kcut_);
 
-    const std::size_t m = nb * 2 * ns_;
+    const auto& pk = simd::active_pointwise_kernels();
+    const std::size_t nd = 2 * (nb * 2 * ns_);  // doubles in the block's state
+    double* spec = dview(ws.spec.data());
+    double* stage = dview(ws.stage.data());
     for (int s = 0; s < nsteps; ++s) {
       tendency_batch(ws.spec, ws.k1, nb, ws);
-      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k1[i];
+      pk.add_scaled(stage, spec, dview(ws.k1.data()), nd, 0.5 * dt);
       tendency_batch(ws.stage, ws.k2, nb, ws);
-      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + 0.5 * dt * ws.k2[i];
+      pk.add_scaled(stage, spec, dview(ws.k2.data()), nd, 0.5 * dt);
       tendency_batch(ws.stage, ws.k3, nb, ws);
-      for (std::size_t i = 0; i < m; ++i) ws.stage[i] = ws.spec[i] + dt * ws.k3[i];
+      pk.add_scaled(stage, spec, dview(ws.k3.data()), nd, dt);
       tendency_batch(ws.stage, ws.k4, nb, ws);
-      for (std::size_t i = 0; i < m; ++i)
-        ws.spec[i] += dt / 6.0 * (ws.k1[i] + 2.0 * ws.k2[i] + 2.0 * ws.k3[i] + ws.k4[i]);
+      pk.rk4_update(spec, dview(ws.k1.data()), dview(ws.k2.data()), dview(ws.k3.data()),
+                    dview(ws.k4.data()), nd, dt / 6.0);
       for (std::size_t b = 0; b < nb; ++b)
         apply_hyperdiffusion(std::span<Cplx>(ws.spec.data() + b * 2 * ns_, 2 * ns_));
     }

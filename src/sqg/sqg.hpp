@@ -259,6 +259,10 @@ class SqgModel {
   std::vector<double> inv_kappa_;            // 1/kappa (0 at K=0)
   std::vector<double> inv_sinh_, inv_tanh_;  // 1/sinh(mu), 1/tanh(mu)
   std::vector<double> hyperdiff_;            // exp(-dt * rate(K)) per point
+  // Pair-duplicated (table2[2p] == table2[2p+1]) copies of the real per-bin
+  // tables above, matching the interleaved re/im layout the runtime-
+  // dispatched pointwise kernels sweep over (simd/pointwise_kernels.hpp).
+  std::vector<double> kx2_, ky2_, inv_kappa2_, inv_sinh2_, inv_tanh2_, hyperdiff2_;
   // Fused per-level combine tables (dealias mask folded in):
   // d(theta_l)/dt = op_theta_[l]*theta_l + op_psi_[l]*psi_l - J_l.
   std::vector<Cplx> op_theta_[2];            // -i kx Ubar_l - 1/t_diab

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -110,6 +112,78 @@ void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_swe
   }
   w = std::move(ws);
   v = std::move(vs);
+}
+
+std::size_t eigh_lane_width() { return simd::kLaneBatch; }
+
+void jacobi_eigh_batch(double* a_lanes, std::size_t n, std::size_t nb, double* v_lanes,
+                       double* w_lanes, int max_sweeps, EighInfo* infos,
+                       EighBatchScratch* scratch) {
+  constexpr std::size_t W = simd::kLaneBatch;
+  TURBDA_REQUIRE(nb >= 1 && nb <= W, "jacobi_eigh_batch: lane count " << nb << " out of range");
+  const auto& dk = simd::active_dense_kernels();
+
+  // Unused lanes: finite content plus an infinite tolerance makes them
+  // converge at the entry check, so the sweep kernel never rotates them.
+  for (std::size_t e = 0; e < n * n; ++e)
+    for (std::size_t l = nb; l < W; ++l) a_lanes[e * W + l] = 0.0;
+
+  EighBatchScratch local;
+  EighBatchScratch& sc = scratch != nullptr ? *scratch : local;
+  sc.vt.assign(n * n * W, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < W; ++l) sc.vt[(i * n + i) * W + l] = 1.0;
+
+  // Per-lane thresholds, accumulated in the same plain-scalar order as the
+  // sequential solver's fro_sq loop.
+  double tol_sq[W], skip_sq[W], off_sq[W];
+  int sweeps[W];
+  std::uint8_t conv[W];
+  for (std::size_t l = 0; l < W; ++l) {
+    if (l >= nb) {
+      tol_sq[l] = std::numeric_limits<double>::infinity();
+      skip_sq[l] = 0.0;
+      continue;
+    }
+    double fro_sq = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) {
+        const double e = a_lanes[(p * n + q) * W + l];
+        fro_sq += e * e;
+      }
+    tol_sq[l] = 1e-28 * fro_sq;
+    skip_sq[l] = n > 1 ? tol_sq[l] / static_cast<double>(n * (n - 1)) : 0.0;
+  }
+
+  dk.bjacobi_sweeps(a_lanes, sc.vt.data(), n, max_sweeps, tol_sq, skip_sq, sweeps, off_sq, conv);
+
+  if (infos != nullptr)
+    for (std::size_t l = 0; l < nb; ++l)
+      infos[l] = EighInfo{sweeps[l], std::sqrt(off_sq[l]), conv[l] != 0};
+
+  // Per-lane extraction — the exact sort-and-transpose epilogue of the
+  // sequential solver. Non-converged lanes get a well-defined benign result
+  // (unit eigenvalues, identity vectors) instead of half-rotated garbage.
+  sc.diag.resize(n);
+  sc.order.resize(n);
+  for (std::size_t l = 0; l < nb; ++l) {
+    if (conv[l] == 0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        w_lanes[j * W + l] = 1.0;
+        for (std::size_t i = 0; i < n; ++i) v_lanes[(i * n + j) * W + l] = i == j ? 1.0 : 0.0;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) sc.diag[i] = a_lanes[(i * n + i) * W + l];
+    std::iota(sc.order.begin(), sc.order.end(), std::size_t{0});
+    std::sort(sc.order.begin(), sc.order.end(),
+              [&](std::size_t i, std::size_t j) { return sc.diag[i] < sc.diag[j]; });
+    for (std::size_t j = 0; j < n; ++j) {
+      w_lanes[j * W + l] = sc.diag[sc.order[j]];
+      for (std::size_t i = 0; i < n; ++i)
+        v_lanes[(i * n + j) * W + l] = sc.vt[(sc.order[j] * n + i) * W + l];
+    }
+  }
 }
 
 Tensor cholesky(const Tensor& a) {

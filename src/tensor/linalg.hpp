@@ -32,6 +32,35 @@ struct EighInfo {
 void jacobi_eigh(const Tensor& a, Tensor& v, std::vector<double>& w, int max_sweeps = 50,
                  EighInfo* info = nullptr);
 
+/// Lane width of the batched eigensolver: problems advanced in lockstep by
+/// one jacobi_eigh_batch call (== simd::kLaneBatch).
+[[nodiscard]] std::size_t eigh_lane_width();
+
+/// Reusable scratch for jacobi_eigh_batch (eigenvector rows + sort buffers);
+/// pass the same instance across calls to avoid per-batch allocation.
+struct EighBatchScratch {
+  std::vector<double> vt;
+  std::vector<double> diag;
+  std::vector<std::size_t> order;
+};
+
+/// Lane-batched symmetric eigendecomposition: nb (1 <= nb <=
+/// eigh_lane_width()) independent n x n problems advance through the cyclic
+/// Jacobi schedule in lockstep, one per SIMD lane. Buffers are
+/// lane-interleaved structure-of-arrays with W = eigh_lane_width(): element
+/// (i, j) of problem l sits at a_lanes[(i*n + j)*W + l] (destroyed on
+/// return), eigenvector column entry (i, j) at v_lanes[(i*n + j)*W + l],
+/// eigenvalue a at w_lanes[a*W + l] (ascending). Per lane the arithmetic is
+/// the exact IEEE operation sequence of the sequential jacobi_eigh at the
+/// same dispatch level, so each lane's output is bitwise identical to a
+/// sequential solve of that problem. Unlike jacobi_eigh this never throws on
+/// non-convergence: a lane that exhausts max_sweeps reports converged=false
+/// in infos[l] and receives identity eigenvectors / unit eigenvalues —
+/// fallback policy is the caller's.
+void jacobi_eigh_batch(double* a_lanes, std::size_t n, std::size_t nb, double* v_lanes,
+                       double* w_lanes, int max_sweeps = 50, EighInfo* infos = nullptr,
+                       EighBatchScratch* scratch = nullptr);
+
 /// Cholesky factorization A = L L^T (lower). Throws turbda::Error if A is not
 /// positive definite.
 [[nodiscard]] Tensor cholesky(const Tensor& a);

@@ -11,6 +11,7 @@
 #include "da/osse.hpp"
 #include "models/lorenz96.hpp"
 #include "rng/rng.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/linalg.hpp"
 
@@ -450,6 +451,139 @@ TEST(Letkf, GroupedSolvesMatchUngroupedAcrossThreads) {
         EXPECT_EQ(letkf.timings().groups, letkf.timings().columns / 2);
       }
     }
+  }
+}
+
+std::vector<simd::SimdLevel> available_simd_levels() {
+  std::vector<simd::SimdLevel> out;
+  for (simd::SimdLevel lv :
+       {simd::SimdLevel::Scalar, simd::SimdLevel::Avx2, simd::SimdLevel::Avx2Fma})
+    if (simd::simd_level_available(lv)) out.push_back(lv);
+  return out;
+}
+
+TEST(Letkf, LaneBatchedMatchesSequentialBitwiseAcrossLevelsAndThreads) {
+  // A strided sparse network on an odd-size grid: local problem sizes vary
+  // across columns and worker chunks hold group counts that are not lane
+  // multiples, so the batched run exercises full batches, size-run tails,
+  // and the sequential remainder path together. The result must be bitwise
+  // identical to the pure sequential path at every dispatch level and any
+  // thread count.
+  Rng rng(21);
+  const std::size_t nx = 11, ny = 11, nlev = 2;
+  const std::size_t d = nx * ny * nlev;
+  const std::size_t m = 8;
+
+  LetkfConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.n_levels = nlev;
+  cfg.domain_m = 4.0e6;
+  cfg.cutoff_m = 1.5e6;
+  cfg.collect_timings = true;
+
+  SubsampleObs h = SubsampleObs::strided_grid(nx, ny, nlev, 3);
+  const std::size_t p = h.obs_dim();
+  DiagonalR r(p, 0.5);
+  Ensemble prior = make_gaussian_ensemble(m, d, rng);
+  std::vector<double> y(p);
+  Rng yrng(22);
+  yrng.fill_gaussian(y, 0.0, 1.0);
+
+  const simd::SimdLevel orig = simd::active_simd_level();
+  for (const simd::SimdLevel lv : available_simd_levels()) {
+    ASSERT_TRUE(simd::force_simd_level(lv));
+    Ensemble ref(m, d);
+    ref.data() = prior.data();
+    {
+      cfg.lane_batch = false;
+      cfg.n_threads = 1;
+      LETKF letkf(cfg);
+      letkf.analyze(ref, y, h, r);
+      EXPECT_EQ(letkf.timings().batched_columns, 0u);
+    }
+    for (const std::size_t nt : {std::size_t{1}, std::size_t{3}}) {
+      cfg.lane_batch = true;
+      cfg.n_threads = nt;
+      LETKF letkf(cfg);
+      Ensemble work(m, d);
+      work.data() = prior.data();
+      letkf.analyze(work, y, h, r);
+      EXPECT_EQ(0, std::memcmp(ref.data().flat().data(), work.data().flat().data(),
+                               m * d * sizeof(double)))
+          << simd::simd_level_name(lv) << " threads=" << nt;
+      // Occupancy accounting: every column is either batched or sequential,
+      // and this network produces work for both paths.
+      EXPECT_EQ(letkf.timings().batched_columns + letkf.timings().scalar_columns,
+                letkf.timings().columns);
+      EXPECT_GT(letkf.timings().batched_columns, 0u);
+    }
+  }
+  simd::force_simd_level(orig);
+}
+
+TEST(Letkf, LaneBatchedFallbackMatchesSequentialUnderSweepStarvation) {
+  // A sweep budget too small for some local problems makes convergence vary
+  // per column, so lane batches mix converged and exhausted lanes. With
+  // fallback enabled both paths must keep the forecast for exactly the same
+  // columns (bitwise) and report identical failure stats; with fallback
+  // disabled both must fail without touching the ensemble.
+  Rng rng(23);
+  const std::size_t nx = 10, ny = 10, nlev = 2;
+  const std::size_t d = nx * ny * nlev;
+  const std::size_t m = 8;
+
+  LetkfConfig cfg;
+  cfg.nx = nx;
+  cfg.ny = ny;
+  cfg.n_levels = nlev;
+  cfg.domain_m = 4.0e6;
+  cfg.cutoff_m = 1.5e6;
+
+  IdentityObs h(d, nx, ny, nlev);
+  DiagonalR r(d, 1.0);
+  Ensemble prior = make_gaussian_ensemble(m, d, rng);
+  std::vector<double> y(d);
+  Rng yrng(24);
+  yrng.fill_gaussian(y, 0.0, 1.0);
+
+  for (const int sweeps : {1, 4}) {
+    cfg.eigh_max_sweeps = sweeps;
+    cfg.eigh_fallback = true;
+    AnalysisStats stats_seq, stats_bat;
+    Ensemble a(m, d), b(m, d);
+    a.data() = prior.data();
+    cfg.lane_batch = false;
+    {
+      LETKF letkf(cfg);
+      ASSERT_TRUE(letkf.try_analyze(a, y, h, r, {}, &stats_seq).ok());
+    }
+    b.data() = prior.data();
+    cfg.lane_batch = true;
+    {
+      LETKF letkf(cfg);
+      ASSERT_TRUE(letkf.try_analyze(b, y, h, r, {}, &stats_bat).ok());
+    }
+    EXPECT_EQ(0,
+              std::memcmp(a.data().flat().data(), b.data().flat().data(), m * d * sizeof(double)))
+        << "max_sweeps=" << sweeps;
+    EXPECT_EQ(stats_seq.solver_failures, stats_bat.solver_failures);
+    EXPECT_EQ(stats_seq.fallback_columns, stats_bat.fallback_columns);
+    if (sweeps == 1) EXPECT_GT(stats_bat.solver_failures, 0u);
+  }
+
+  // Fallback disabled: both paths fail whole-analysis, ensemble untouched.
+  cfg.eigh_max_sweeps = 1;
+  cfg.eigh_fallback = false;
+  for (const bool batched : {false, true}) {
+    cfg.lane_batch = batched;
+    LETKF letkf(cfg);
+    Ensemble w(m, d);
+    w.data() = prior.data();
+    const Status s = letkf.try_analyze(w, y, h, r);
+    EXPECT_FALSE(s.ok()) << "lane_batch=" << batched;
+    EXPECT_EQ(0, std::memcmp(prior.data().flat().data(), w.data().flat().data(),
+                             m * d * sizeof(double)));
   }
 }
 

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 
 #include "rng/rng.hpp"
+#include "simd/dispatch.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/tensor.hpp"
@@ -257,6 +260,153 @@ TEST(Eigh, ThrowsOnInsufficientSweepsAndFillsInfo) {
   EXPECT_FALSE(info.converged);
   EXPECT_EQ(info.sweeps, 0);
   EXPECT_GT(info.off_fro, 0.0);
+}
+
+// --- Lane-batched symmetric eigensolver --------------------------------------
+
+using simd::SimdLevel;
+
+std::vector<SimdLevel> available_levels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel lv : {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx2Fma})
+    if (simd::simd_level_available(lv)) out.push_back(lv);
+  return out;
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+Tensor random_symmetric(std::size_t n, Rng& rng) {
+  Tensor a({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+TEST(EighBatch, LanesBitwiseMatchSequentialAtEveryLevel) {
+  const std::size_t W = eigh_lane_width();
+  ASSERT_EQ(W, 4u);
+  const SimdLevel orig = simd::active_simd_level();
+  for (SimdLevel lv : available_levels()) {
+    ASSERT_TRUE(simd::force_simd_level(lv));
+    for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{12}, std::size_t{20}}) {
+      Rng rng(500 + static_cast<std::uint64_t>(n));
+      std::vector<Tensor> as;
+      for (std::size_t l = 0; l < W; ++l) as.push_back(random_symmetric(n, rng));
+      std::vector<double> al(n * n * W), vl(n * n * W), wl(n * W);
+      for (std::size_t e = 0; e < n * n; ++e)
+        for (std::size_t l = 0; l < W; ++l) al[e * W + l] = as[l].flat()[e];
+      std::vector<EighInfo> infos(W);
+      jacobi_eigh_batch(al.data(), n, W, vl.data(), wl.data(), 50, infos.data());
+      for (std::size_t l = 0; l < W; ++l) {
+        Tensor v;
+        std::vector<double> w;
+        EighInfo info;
+        jacobi_eigh(as[l], v, w, 50, &info);
+        ASSERT_TRUE(info.converged);
+        EXPECT_TRUE(infos[l].converged);
+        EXPECT_EQ(infos[l].sweeps, info.sweeps);
+        EXPECT_TRUE(same_bits(infos[l].off_fro, info.off_fro));
+        for (std::size_t j = 0; j < n; ++j)
+          EXPECT_TRUE(same_bits(wl[j * W + l], w[j]))
+              << simd::simd_level_name(lv) << " n=" << n << " lane " << l << " w[" << j << "]";
+        for (std::size_t e = 0; e < n * n; ++e)
+          EXPECT_TRUE(same_bits(vl[e * W + l], v.flat()[e]))
+              << simd::simd_level_name(lv) << " n=" << n << " lane " << l << " v elem " << e;
+      }
+    }
+  }
+  simd::force_simd_level(orig);
+}
+
+TEST(EighBatch, PartialBatchLanesMatchAndPadLanesUntouched) {
+  const std::size_t W = eigh_lane_width();
+  const std::size_t n = 9;
+  const SimdLevel orig = simd::active_simd_level();
+  for (SimdLevel lv : available_levels()) {
+    ASSERT_TRUE(simd::force_simd_level(lv));
+    for (std::size_t nb = 1; nb < W; ++nb) {
+      Rng rng(900 + static_cast<std::uint64_t>(nb));
+      std::vector<Tensor> as;
+      for (std::size_t l = 0; l < nb; ++l) as.push_back(random_symmetric(n, rng));
+      std::vector<double> al(n * n * W, 0.0), vl(n * n * W, -777.0), wl(n * W, -777.0);
+      for (std::size_t e = 0; e < n * n; ++e)
+        for (std::size_t l = 0; l < nb; ++l) al[e * W + l] = as[l].flat()[e];
+      std::vector<EighInfo> infos(W);
+      jacobi_eigh_batch(al.data(), n, nb, vl.data(), wl.data(), 50, infos.data());
+      for (std::size_t l = 0; l < nb; ++l) {
+        Tensor v;
+        std::vector<double> w;
+        jacobi_eigh(as[l], v, w);
+        for (std::size_t j = 0; j < n; ++j) EXPECT_TRUE(same_bits(wl[j * W + l], w[j]));
+        for (std::size_t e = 0; e < n * n; ++e) EXPECT_TRUE(same_bits(vl[e * W + l], v.flat()[e]));
+      }
+      // Output lanes beyond nb are never written.
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t l = nb; l < W; ++l) EXPECT_EQ(wl[j * W + l], -777.0);
+      for (std::size_t e = 0; e < n * n; ++e)
+        for (std::size_t l = nb; l < W; ++l) EXPECT_EQ(vl[e * W + l], -777.0);
+    }
+  }
+  simd::force_simd_level(orig);
+}
+
+TEST(EighBatch, MixedConvergenceReportsPerLaneWithoutThrowing) {
+  const std::size_t W = eigh_lane_width();
+  const std::size_t n = 12;
+  const SimdLevel orig = simd::active_simd_level();
+  for (SimdLevel lv : available_levels()) {
+    ASSERT_TRUE(simd::force_simd_level(lv));
+    // Lane 0 converges at the entry check (diagonal matrix, 0 sweeps); the
+    // dense random lanes cannot finish within one sweep, so a single batch
+    // mixes converged and exhausted lanes.
+    Rng rng(77);
+    std::vector<Tensor> as;
+    Tensor diag({n, n});
+    for (std::size_t i = 0; i < n; ++i) diag(i, i) = static_cast<double>(i) - 3.5;
+    as.push_back(diag);
+    for (std::size_t l = 1; l < W; ++l) as.push_back(random_symmetric(n, rng));
+    std::vector<double> al(n * n * W), vl(n * n * W), wl(n * W);
+    for (std::size_t e = 0; e < n * n; ++e)
+      for (std::size_t l = 0; l < W; ++l) al[e * W + l] = as[l].flat()[e];
+    std::vector<EighInfo> infos(W);
+    jacobi_eigh_batch(al.data(), n, W, vl.data(), wl.data(), /*max_sweeps=*/1, infos.data());
+
+    // Lane 0: bitwise-identical to the sequential solve of the diagonal case.
+    {
+      Tensor v;
+      std::vector<double> w;
+      EighInfo info;
+      jacobi_eigh(as[0], v, w, 1, &info);
+      EXPECT_TRUE(infos[0].converged);
+      EXPECT_EQ(infos[0].sweeps, info.sweeps);
+      EXPECT_EQ(infos[0].sweeps, 0);
+      for (std::size_t j = 0; j < n; ++j) EXPECT_TRUE(same_bits(wl[j * W + 0], w[j]));
+      for (std::size_t e = 0; e < n * n; ++e) EXPECT_TRUE(same_bits(vl[e * W + 0], v.flat()[e]));
+    }
+    // Dense lanes: exhausted, reported per lane with the sequential solver's
+    // residual, and given the documented benign identity fallback output.
+    for (std::size_t l = 1; l < W; ++l) {
+      Tensor v;
+      std::vector<double> w;
+      EighInfo info;
+      EXPECT_THROW(jacobi_eigh(as[l], v, w, 1, &info), turbda::Error);
+      ASSERT_FALSE(info.converged);
+      EXPECT_FALSE(infos[l].converged);
+      EXPECT_EQ(infos[l].sweeps, info.sweeps);
+      EXPECT_TRUE(same_bits(infos[l].off_fro, info.off_fro));
+      for (std::size_t j = 0; j < n; ++j) EXPECT_EQ(wl[j * W + l], 1.0);
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < n; ++i)
+          EXPECT_EQ(vl[(i * n + j) * W + l], i == j ? 1.0 : 0.0);
+    }
+  }
+  simd::force_simd_level(orig);
 }
 
 TEST(Cholesky, FactorizesAndSolves) {

@@ -96,6 +96,45 @@ def oversubscribed(row):
     return hw is not None and threads is not None and threads > hw
 
 
+PHASE_DELTA_FIELDS = ("gram_ms", "eigh_ms")
+
+
+def print_phase_delta_table(pairs, key_fields):
+    """Advisory per-phase delta table (LETKF Gram build / eigensolve) for
+    every overlapping configuration that carries the phase fields. Purely
+    informational: phase-level noise is higher than whole-analysis noise, so
+    no warnings are emitted here."""
+    rows = []
+    for key, base, fr in pairs:
+        cells = []
+        have_any = False
+        for ph in PHASE_DELTA_FIELDS:
+            b, f = numeric(base.get(ph)), numeric(fr.get(ph))
+            if b is None or f is None or b <= 0.0:
+                cells.append("-")
+                continue
+            have_any = True
+            cells.append(f"{b:.1f} -> {f:.1f} ({100 * (f / b - 1.0):+.1f}%)")
+        occ = ""
+        bc, sc = numeric(fr.get("batched_columns")), numeric(fr.get("scalar_columns"))
+        if bc is not None and sc is not None and bc + sc > 0:
+            occ = f"{100 * bc / (bc + sc):.1f}%"
+        if have_any:
+            rows.append((key, cells, occ))
+    if not rows:
+        return
+    print("\n### Per-phase deltas (advisory): Gram build / eigensolve\n")
+    names = " | ".join(ph[:-3] for ph in PHASE_DELTA_FIELDS)
+    print(f"| {' | '.join(key_fields)} | {names} | lane occupancy |")
+    print(f"| {' | '.join('---' for _ in key_fields)} | "
+          f"{' | '.join('---' for _ in PHASE_DELTA_FIELDS)} | --- |")
+    for key, cells, occ in rows:
+        kcells = " | ".join(str(v) for v in key)
+        print(f"| {kcells} | {' | '.join(cells)} | {occ or '-'} |")
+    print("\n(lane occupancy = fresh run's share of columns solved in full SIMD "
+          "lane batches; the remainder took the sequential path.)")
+
+
 def print_phase_table(phases):
     """Telemetry-derived LETKF phase breakdown for the CI job summary."""
     order = ["plan_ms", "select_ms", "gather_ms", "gram_ms", "eigh_ms",
@@ -140,6 +179,7 @@ def main():
 
     rows = []
     skipped = []
+    pairs = []  # (key, baseline_row, fresh_row) for the per-phase table
     warnings = 0
     # Stringified sort key: components may mix types across hand-edited
     # files, and "3 < '4'" is a TypeError, not a warning.
@@ -157,6 +197,7 @@ def main():
         flag = ratio > args.threshold
         warnings += flag
         rows.append((key, b, f, ratio, flag))
+        pairs.append((key, base, fr))
         if flag:
             where = ", ".join(f"{k}={v}" for k, v in zip(key_fields, key))
             print(f"::warning::{args.metric} at {where} regressed "
@@ -187,6 +228,7 @@ def main():
     if warnings:
         print(f"\n{warnings} configuration(s) above threshold — advisory only; "
               "compare against the committed baseline's machine before acting.")
+    print_phase_delta_table(pairs, key_fields)
     if fresh_phases:
         print_phase_table(fresh_phases)
     return 0
